@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Ablation study (extension beyond the paper's evaluation):
+ *
+ *  1. FlexWatts mode policies on a dynamic trace: oracle vs the
+ *     Algorithm 1 predictor (with the real 94 us switch cost) vs
+ *     statically pinning either mode.
+ *  2. Predictor hysteresis sweep: switches vs energy.
+ *  3. The paper's linearized performance model vs the exact TDP
+ *     budget solver.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "perf/budget_solver.hh"
+#include "sim/interval_simulator.hh"
+#include "workload/spec_cpu2006.hh"
+#include "workload/trace_generator.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    const Platform &pf = bench::platform();
+    const Power tdp = watts(15.0);
+    IntervalSimulator sim(pf.operatingPoints(), tdp);
+    TraceGenerator gen(2026);
+    PhaseTrace trace = gen.burstyCompute(12, milliseconds(60.0),
+                                         milliseconds(90.0));
+
+    bench::banner("Ablation 1 - mode policies on a bursty trace "
+                  "(15W TDP)");
+    {
+        SimResult oracle = sim.runOracle(trace, pf.flexWatts());
+
+        PmuConfig cfg;
+        cfg.tdp = tdp;
+        Pmu pmu(cfg, pf.predictor());
+        SimResult predicted = sim.run(trace, pf.flexWatts(), pmu);
+
+        SimResult ivr_static =
+            sim.run(trace, pf.pdn(PdnKind::IVR));
+        SimResult mbvr_static =
+            sim.run(trace, pf.pdn(PdnKind::MBVR));
+
+        AsciiTable t({"Policy", "energy (J)", "avg ETEE", "switches",
+                      "switch overhead (us)"});
+        auto row = [&](const std::string &name, const SimResult &r) {
+            t.addRow({name, AsciiTable::num(inJoules(r.supplyEnergy), 3),
+                      AsciiTable::percent(r.averageEtee(), 1),
+                      std::to_string(r.modeSwitches),
+                      AsciiTable::num(
+                          inMicroseconds(r.switchOverheadTime), 0)});
+        };
+        row("FlexWatts oracle (free switches)", oracle);
+        row("FlexWatts Algorithm 1 + 94us flow", predicted);
+        row("static IVR PDN", ivr_static);
+        row("static MBVR PDN", mbvr_static);
+        t.print(std::cout);
+    }
+
+    bench::banner("Ablation 2 - predictor hysteresis sweep");
+    {
+        AsciiTable t({"hysteresis", "energy (J)", "switches"});
+        for (double h : {0.0, 0.002, 0.005, 0.01, 0.02, 0.05}) {
+            ModePredictor predictor(pf.eteeTable(), h);
+            PmuConfig cfg;
+            cfg.tdp = tdp;
+            Pmu pmu(cfg, predictor);
+            SimResult r = sim.run(trace, pf.flexWatts(), pmu);
+            t.addRow({AsciiTable::percent(h, 1),
+                      AsciiTable::num(inJoules(r.supplyEnergy), 3),
+                      std::to_string(r.modeSwitches)});
+        }
+        t.print(std::cout);
+    }
+
+    bench::banner("Ablation 3 - linearized perf model vs exact TDP "
+                  "budget solver (LDO vs IVR)");
+    {
+        BudgetSolver solver(pf.operatingPoints());
+        Workload w;
+        w.name = "ideal";
+        w.type = WorkloadType::MultiThread;
+        w.ar = 0.56;
+        w.scalability = 1.0;
+
+        AsciiTable t({"TDP", "linearized gain", "exact gain",
+                      "exact clamped at Fmax"});
+        for (double tdp_w : {4.0, 8.0, 10.0, 18.0}) {
+            PerfResult lin = pf.perfModel().relativePerformance(
+                pf.pdn(PdnKind::LDO), pf.pdn(PdnKind::IVR),
+                watts(tdp_w), w);
+            auto ivr_sol = solver.solve(pf.pdn(PdnKind::IVR),
+                                        watts(tdp_w), w);
+            auto ldo_sol = solver.solve(pf.pdn(PdnKind::LDO),
+                                        watts(tdp_w), w);
+            double exact_gain =
+                ldo_sol.frequency / ivr_sol.frequency - 1.0;
+            t.addRow({strprintf("%.0fW", tdp_w),
+                      AsciiTable::percent(lin.freqGainPercent / 100.0,
+                                          1),
+                      AsciiTable::percent(exact_gain, 1),
+                      ldo_sol.clampedAtFmax ? "yes" : "no"});
+        }
+        t.print(std::cout);
+        std::cout << "\nThe linearization overstates the gain where "
+                     "dP/df steepens above the baseline clock.\n\n";
+    }
+}
+
+void
+pmuSimulation(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    IntervalSimulator sim(pf.operatingPoints(), watts(15.0));
+    TraceGenerator gen(99);
+    PhaseTrace trace = gen.burstyCompute(6, milliseconds(30.0),
+                                         milliseconds(40.0));
+    for (auto _ : state) {
+        PmuConfig cfg;
+        cfg.tdp = watts(15.0);
+        Pmu pmu(cfg, pf.predictor());
+        SimResult r = sim.run(trace, pf.flexWatts(), pmu);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+BENCHMARK(pmuSimulation);
+
+void
+exactBudgetSolve(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    BudgetSolver solver(pf.operatingPoints());
+    Workload w;
+    w.type = WorkloadType::MultiThread;
+    w.ar = 0.56;
+    for (auto _ : state) {
+        auto sol = solver.solve(pf.pdn(PdnKind::LDO), watts(10.0), w);
+        benchmark::DoNotOptimize(sol);
+    }
+}
+
+BENCHMARK(exactBudgetSolve);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

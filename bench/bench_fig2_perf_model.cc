@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates Fig. 2: (a) the power budget required to raise the
+ * compute clock by 1% per TDP, and (b) the TDP power-budget breakdown
+ * under the worst commonly-used PDN.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "perf/budget_breakdown.hh"
+#include "perf/freq_sensitivity.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    const Platform &pf = bench::platform();
+    const FreqSensitivity &sens = pf.perfModel().sensitivity();
+    const PdnModel &ivr = pf.pdn(PdnKind::IVR);
+
+    bench::banner("Fig. 2(a) - power-budget increase for +1% clock");
+    {
+        AsciiTable t({"TDP", "CPU (mW per 1%)", "GFX (mW per 1%)"});
+        for (double tdp : evaluationTdpsW) {
+            t.addRow({strprintf("%.0fW", tdp),
+                      AsciiTable::num(
+                          inMilliwatts(sens.supplyPerPercent(
+                              watts(tdp), WorkloadType::MultiThread,
+                              ivr)),
+                          1),
+                      AsciiTable::num(
+                          inMilliwatts(sens.supplyPerPercent(
+                              watts(tdp), WorkloadType::Graphics,
+                              ivr)),
+                          1)});
+        }
+        t.print(std::cout);
+    }
+
+    bench::banner("Fig. 2(b) - power-budget breakdown (worst PDN)");
+    {
+        std::array<const PdnModel *, 3> pdns = {
+            &pf.pdn(PdnKind::IVR), &pf.pdn(PdnKind::MBVR),
+            &pf.pdn(PdnKind::LDO)};
+        AsciiTable t({"TDP", "SA+IO", "CPU", "LLC", "PDN loss",
+                      "worst PDN"});
+        for (double tdp : evaluationTdpsW) {
+            BudgetShares s = budgetBreakdown(
+                pf.operatingPoints(), pdns, watts(tdp),
+                WorkloadType::MultiThread);
+            t.addRow({strprintf("%.0fW", tdp),
+                      AsciiTable::percent(s.saIo, 0),
+                      AsciiTable::percent(s.cpu, 0),
+                      AsciiTable::percent(s.llc, 0),
+                      AsciiTable::percent(s.pdnLoss, 0), s.worstPdn});
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\n";
+}
+
+void
+sensitivitySweep(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    const FreqSensitivity &sens = pf.perfModel().sensitivity();
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (double tdp : evaluationTdpsW) {
+            sum += inMilliwatts(sens.nominalPerPercent(
+                watts(tdp), WorkloadType::MultiThread));
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+}
+
+BENCHMARK(sensitivitySweep);
+
+void
+breakdownRow(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    std::array<const PdnModel *, 3> pdns = {&pf.pdn(PdnKind::IVR),
+                                            &pf.pdn(PdnKind::MBVR),
+                                            &pf.pdn(PdnKind::LDO)};
+    for (auto _ : state) {
+        BudgetShares s = budgetBreakdown(pf.operatingPoints(), pdns,
+                                         watts(18.0),
+                                         WorkloadType::MultiThread);
+        benchmark::DoNotOptimize(s);
+    }
+}
+
+BENCHMARK(breakdownRow);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

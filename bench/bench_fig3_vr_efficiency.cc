@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Fig. 3: off-chip VR efficiency curves as a function of
+ * output current, output voltage, and VR power state (Vin = 7.2 V).
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "vr/buck_vr.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 3 - off-chip VR efficiency curves (Vin=7.2V)");
+    BuckVr vr(BuckParams::motherboard("V_IN"));
+
+    const double currents[] = {0.1, 0.2, 0.5, 1.0, 2.0, 3.0,
+                               5.0, 10.0, 20.0};
+    for (VrPowerState ps : {VrPowerState::PS0, VrPowerState::PS1}) {
+        std::cout << "Power state " << toString(ps) << ":\n";
+        AsciiTable t({"Iout (A)", "Vout=0.6", "Vout=0.7", "Vout=1.0",
+                      "Vout=1.8"});
+        for (double iout : currents) {
+            if (amps(iout) > vr.stateParams(ps).maxCurrent)
+                continue;
+            std::vector<std::string> row = {AsciiTable::num(iout, 1)};
+            for (double vout : {0.6, 0.7, 1.0, 1.8}) {
+                row.push_back(AsciiTable::percent(
+                    vr.efficiency(volts(7.2), volts(vout), amps(iout),
+                                  ps),
+                    1));
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Autonomous state selection (Vout=1.0V):\n";
+    AsciiTable t({"Iout (A)", "best state", "efficiency"});
+    for (double iout : {0.02, 0.05, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0}) {
+        auto ps = vr.bestState(volts(7.2), volts(1.0), amps(iout));
+        t.addRow({AsciiTable::num(iout, 2),
+                  ps ? toString(*ps) : "none",
+                  AsciiTable::percent(
+                      vr.efficiencyAuto(volts(7.2), volts(1.0),
+                                        amps(iout)),
+                      1)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+efficiencyLookup(benchmark::State &state)
+{
+    BuckVr vr(BuckParams::motherboard("V_IN"));
+    double iout = 0.1;
+    for (auto _ : state) {
+        double eta = vr.efficiencyAuto(volts(7.2), volts(1.0),
+                                       amps(iout));
+        benchmark::DoNotOptimize(eta);
+        iout = iout < 40.0 ? iout * 1.5 : 0.1;
+    }
+}
+
+BENCHMARK(efficiencyLookup);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Fig. 5: breakdown of PDN power-conversion losses for
+ * the three commonly-used PDNs at 4/18/50 W (CPU-intensive workload,
+ * AR = 56%), with normalized chip input current and load-line.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    const Platform &pf = bench::platform();
+    bench::banner("Fig. 5 - PDN power-conversion loss breakdown "
+                  "(CPU-intensive, AR=56%)");
+
+    OperatingPointModel::Query q;
+    q.ar = 0.56;
+    q.type = WorkloadType::MultiThread;
+
+    EteeResult ivr_ref;
+    AsciiTable t({"PDN", "TDP", "VR ineff.", "I2R core+GFX",
+                  "I2R SA+IO", "others", "ETEE", "Iin (norm)",
+                  "RLL (norm)"});
+    for (PdnKind kind : classicPdnKinds) {
+        for (double tdp : {4.0, 18.0, 50.0}) {
+            q.tdp = watts(tdp);
+            PlatformState s = pf.operatingPoints().build(q);
+            EteeResult r = pf.pdn(kind).evaluate(s);
+            EteeResult ivr_r = pf.pdn(PdnKind::IVR).evaluate(s);
+            t.addRow({toString(kind), strprintf("%.0fW", tdp),
+                      AsciiTable::percent(r.lossFraction(r.loss.vrLoss),
+                                          1),
+                      AsciiTable::percent(
+                          r.lossFraction(r.loss.conductionCompute), 1),
+                      AsciiTable::percent(
+                          r.lossFraction(r.loss.conductionUncore), 1),
+                      AsciiTable::percent(r.lossFraction(r.loss.other),
+                                          1),
+                      AsciiTable::percent(r.etee(), 1),
+                      AsciiTable::num(r.chipInputCurrent /
+                                          ivr_r.chipInputCurrent,
+                                      2),
+                      AsciiTable::num(inMilliohms(r.computeLoadLine) /
+                                          inMilliohms(
+                                              ivr_r.computeLoadLine),
+                                      2)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+lossBreakdownSweep(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    OperatingPointModel::Query q;
+    q.tdp = watts(18.0);
+    PlatformState s = pf.operatingPoints().build(q);
+    for (auto _ : state) {
+        double total = 0.0;
+        for (PdnKind kind : classicPdnKinds)
+            total += inWatts(pf.pdn(kind).evaluate(s).loss.total());
+        benchmark::DoNotOptimize(total);
+    }
+}
+
+BENCHMARK(lossBreakdownSweep);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Fig. 8(b): 3DMark06 average performance of the five
+ * PDNs across the 4-50 W TDP range, normalized to the IVR PDN.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "workload/gfx_3dmark06.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    const Platform &pf = bench::platform();
+    bench::banner(
+        "Fig. 8(b) - 3DMark06 average performance (IVR = 100%)");
+
+    AsciiTable t({"TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts"});
+    for (double tdp : evaluationTdpsW) {
+        std::vector<std::string> row = {strprintf("%.0fW", tdp)};
+        for (PdnKind kind : allPdnKinds) {
+            row.push_back(AsciiTable::percent(
+                suiteMeanRelativePerf(pf, kind, watts(tdp),
+                                      gfx3dmark06()),
+                1));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+fig8bRow(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    for (auto _ : state) {
+        double v = suiteMeanRelativePerf(
+            pf, PdnKind::FlexWatts,
+            watts(static_cast<double>(state.range(0))),
+            gfx3dmark06());
+        benchmark::DoNotOptimize(v);
+    }
+}
+
+BENCHMARK(fig8bRow)->Arg(4)->Arg(25)->Arg(50);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

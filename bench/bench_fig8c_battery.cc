@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Fig. 8(c): average power of the four battery-life
+ * workloads under the five PDNs, normalized to the IVR PDN, plus a
+ * battery-life projection for a 50 Wh pack.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "sim/battery_model.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    const Platform &pf = bench::platform();
+    bench::banner("Fig. 8(c) - battery-life workload average power "
+                  "(IVR = 100%)");
+
+    AsciiTable t({"Workload", "IVR", "MBVR", "LDO", "I+MBVR",
+                  "FlexWatts"});
+    for (const BatteryProfile &profile : batteryLifeWorkloads()) {
+        double base =
+            inWatts(batteryAveragePower(pf, PdnKind::IVR, profile));
+        std::vector<std::string> row = {profile.name};
+        for (PdnKind kind : allPdnKinds) {
+            row.push_back(AsciiTable::percent(
+                inWatts(batteryAveragePower(pf, kind, profile)) / base,
+                1));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    bench::banner("Battery life with a 50 Wh pack (hours)");
+    BatteryModel battery(wattHours(50.0));
+    AsciiTable life({"Workload", "IVR", "FlexWatts", "gain"});
+    for (const BatteryProfile &profile : batteryLifeWorkloads()) {
+        double h_ivr = battery.lifeHours(
+            batteryAveragePower(pf, PdnKind::IVR, profile));
+        double h_flex = battery.lifeHours(
+            batteryAveragePower(pf, PdnKind::FlexWatts, profile));
+        life.addRow({profile.name, AsciiTable::num(h_ivr, 1),
+                     AsciiTable::num(h_flex, 1),
+                     AsciiTable::percent(h_flex / h_ivr - 1.0, 1)});
+    }
+    life.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+batteryRow(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    for (auto _ : state) {
+        Power p = batteryAveragePower(pf, PdnKind::FlexWatts,
+                                      videoPlayback());
+        benchmark::DoNotOptimize(p);
+    }
+}
+
+BENCHMARK(batteryRow);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

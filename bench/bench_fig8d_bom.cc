@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Fig. 8(d): bill-of-materials cost of the five PDNs
+ * across the TDP range, normalized to the IVR PDN, with the
+ * worst-case rail sizing behind it.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    const Platform &pf = bench::platform();
+    bench::banner("Fig. 8(d) - normalized BOM cost (IVR = 1.0)");
+
+    AsciiTable t({"TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts",
+                  "regime"});
+    for (double tdp : evaluationTdpsW) {
+        std::vector<std::string> row = {strprintf("%.0fW", tdp)};
+        for (PdnKind kind : allPdnKinds) {
+            row.push_back(AsciiTable::num(
+                normalizedBom(pf, kind, watts(tdp)), 2));
+        }
+        row.push_back(pf.costs()
+                              .evaluate(pf.pdn(PdnKind::IVR),
+                                        watts(tdp))
+                              .usesPmic
+                          ? "PMIC"
+                          : "VRM");
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    bench::banner("Worst-case rail sizing at 50W (per PDN)");
+    AsciiTable rails({"PDN", "rail", "Vout", "Iccmax (A)"});
+    for (PdnKind kind : allPdnKinds) {
+        for (const OffChipRail &r :
+             pf.costs().worstCaseRails(pf.pdn(kind), watts(50.0))) {
+            rails.addRow({toString(kind), r.name,
+                          AsciiTable::num(inVolts(r.outputVoltage), 2),
+                          AsciiTable::num(inAmps(r.iccMax), 1)});
+        }
+    }
+    rails.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+bomEvaluation(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    for (auto _ : state) {
+        double total = 0.0;
+        for (PdnKind kind : allPdnKinds)
+            total += normalizedBom(pf, kind, watts(18.0));
+        benchmark::DoNotOptimize(total);
+    }
+}
+
+BENCHMARK(bomEvaluation);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

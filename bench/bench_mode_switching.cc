@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates the Sec. 6 FlexWatts overhead numbers: the 94 us
+ * mode-switch flow budget, its comparison against DVFS latency, and
+ * the runtime cost of Algorithm 1 itself.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "flexwatts/mode_switch.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    bench::banner("Sec. 6 - mode-switching flow latency budget");
+    ModeSwitchParams p;
+    AsciiTable t({"Step", "Latency (us)"});
+    t.addRow({"1. enter package C6 (context save, power off)",
+              AsciiTable::num(inMicroseconds(p.enterC6), 0)});
+    t.addRow({"2. retarget V_IN + reconfigure hybrid VRs",
+              AsciiTable::num(inMicroseconds(p.retargetVrs), 0)});
+    t.addRow({"3. exit package C6 and resume",
+              AsciiTable::num(inMicroseconds(p.exitC6), 0)});
+    t.addRow({"total",
+              AsciiTable::num(inMicroseconds(p.totalLatency()), 0)});
+    t.print(std::cout);
+    std::cout << "\nFor reference, DVFS (P-state) transitions on "
+                 "client processors take up to 500 us.\n\n";
+}
+
+void
+algorithm1Prediction(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    PredictorInputs in;
+    in.tdp = watts(18.0);
+    in.ar = 0.55;
+    in.workloadType = WorkloadType::MultiThread;
+    for (auto _ : state) {
+        HybridMode m = pf.predictor().predict(in);
+        benchmark::DoNotOptimize(m);
+        in.ar = in.ar < 0.85 ? in.ar + 0.01 : 0.4;
+    }
+}
+
+BENCHMARK(algorithm1Prediction);
+
+void
+oracleModeSelection(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    OperatingPointModel::Query q;
+    q.tdp = watts(18.0);
+    PlatformState s = pf.operatingPoints().build(q);
+    for (auto _ : state) {
+        HybridMode m = pf.flexWatts().bestMode(s);
+        benchmark::DoNotOptimize(m);
+    }
+}
+
+BENCHMARK(oracleModeSelection);
+
+void
+switchFlowStateMachine(benchmark::State &state)
+{
+    ModeSwitchFlow flow;
+    Time now;
+    HybridMode target = HybridMode::LdoMode;
+    for (auto _ : state) {
+        flow.requestSwitch(now, target);
+        now += milliseconds(1.0);
+        target = target == HybridMode::LdoMode ? HybridMode::IvrMode
+                                               : HybridMode::LdoMode;
+        benchmark::DoNotOptimize(flow);
+    }
+}
+
+BENCHMARK(switchFlowStateMachine);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

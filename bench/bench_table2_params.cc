@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regenerates Table 1 (platform architecture) and Table 2 (PDNspot
+ * model parameters) of the paper, then times operating-point builds.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "pdn/ivr_pdn.hh"
+#include "pdn/ldo_pdn.hh"
+#include "pdn/mbvr_pdn.hh"
+#include "power/operating_point.hh"
+#include "vr/buck_vr.hh"
+#include "vr/ivr.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printTables()
+{
+    bench::banner("Table 1 - processor architecture summary");
+    {
+        AsciiTable t({"Domain", "Description"});
+        t.addRow({"Core0/1", "single clock domain, 0.8-4.0 GHz"});
+        t.addRow({"GFX", "graphics engines, 0.1-1.2 GHz"});
+        t.addRow({"LLC", "last-level cache, tracks core voltage"});
+        t.addRow({"SA", "memory/display/IO fabric, fixed frequency"});
+        t.addRow({"IO", "DDRIO + display IO, fixed frequency"});
+        t.print(std::cout);
+    }
+
+    bench::banner("Table 2 - main PDNspot model parameters");
+    const OperatingPointModel &opm =
+        bench::platform().operatingPoints();
+    IvrPdnParams ivr_p;
+    MbvrParams mbvr_p;
+    LdoPdnParams ldo_p;
+    IvrParams ivr_vr;
+    LdoParams ldo_vr;
+
+    AsciiTable t({"Parameter", "IVR", "MBVR", "LDO"});
+    t.addRow({"Load-line RLL (mOhm)",
+              strprintf("IN=%.2f", inMilliohms(ivr_p.rllIn)),
+              strprintf("Cores/GFX/SA/IO=%.1f/%.1f/%.1f/%.1f",
+                        inMilliohms(mbvr_p.rllCores),
+                        inMilliohms(mbvr_p.rllGfx),
+                        inMilliohms(mbvr_p.rllSa),
+                        inMilliohms(mbvr_p.rllIo)),
+              strprintf("IN/SA/IO=%.2f/%.1f/%.1f",
+                        inMilliohms(ldo_p.rllIn),
+                        inMilliohms(ldo_p.rllSa),
+                        inMilliohms(ldo_p.rllIo))});
+    t.addRow({"VR tolerance band (mV)",
+              strprintf("%.0f", inMillivolts(ivr_p.tob)),
+              strprintf("%.0f", inMillivolts(mbvr_p.tob)),
+              strprintf("%.0f", inMillivolts(ldo_p.tob))});
+    t.addRow({"On-chip VR efficiency", "81-88% (buck model)", "-",
+              "(Vout/Vin) x 99.1%"});
+    t.addRow({"Off-chip VR efficiency",
+              "72-93% f(Vin,Vout,Iout,PS)",
+              "72-93% f(Vin,Vout,Iout,PS)",
+              "72-93% f(Vin,Vout,Iout,PS)"});
+    t.addRow({"Leakage fraction FL", "22% (45% GFX)", "same", "same"});
+    t.addRow({"Cores PNOM (W)",
+              strprintf("%.2f-%.1f over 4-50W TDP",
+                        inWatts(opm.coresNominal(watts(4.0))),
+                        inWatts(opm.coresNominal(watts(50.0)))),
+              "same", "same"});
+    t.addRow({"LLC PNOM (W)",
+              strprintf("%.2f-%.1f",
+                        inWatts(opm.llcNominal(watts(4.0))),
+                        inWatts(opm.llcNominal(watts(50.0)))),
+              "same", "same"});
+    t.addRow({"GFX PNOM (W)",
+              strprintf("%.2f-%.1f",
+                        inWatts(opm.gfxNominal(watts(4.0))),
+                        inWatts(opm.gfxNominal(watts(50.0)))),
+              "same", "same"});
+    t.addRow({"PG impedance RPG (mOhm)", "-", "1.5", "1.5 (SA/IO)"});
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+buildOperatingPoint(benchmark::State &state)
+{
+    OperatingPointModel opm;
+    OperatingPointModel::Query q;
+    q.tdp = watts(static_cast<double>(state.range(0)));
+    for (auto _ : state) {
+        PlatformState s = opm.build(q);
+        benchmark::DoNotOptimize(s);
+    }
+}
+
+BENCHMARK(buildOperatingPoint)->Arg(4)->Arg(18)->Arg(50);
+
+void
+evaluateClassicPdns(benchmark::State &state)
+{
+    OperatingPointModel opm;
+    IvrPdn ivr;
+    MbvrPdn mbvr;
+    LdoPdn ldo;
+    OperatingPointModel::Query q;
+    q.tdp = watts(18.0);
+    PlatformState s = opm.build(q);
+    for (auto _ : state) {
+        double sum = ivr.evaluate(s).etee() + mbvr.evaluate(s).etee() +
+                     ldo.evaluate(s).etee();
+        benchmark::DoNotOptimize(sum);
+    }
+}
+
+BENCHMARK(evaluateClassicPdns);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printTables)

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension study: transient (di/dt) voltage noise across the PDNs.
+ *
+ * Quantifies the paper's Sec. 2.3 qualitative claims: the IVR PDN is
+ * the most di/dt-sensitive topology (little on-die decap), MBVR the
+ * least (generous board/package decap), and FlexWatts inherits the
+ * IVR's decap stack in both modes. Reports the first-droop estimate
+ * for a Turbo-entry-class current step and the largest step each PDN
+ * absorbs within a 30 mV guardband.
+ */
+
+#include "bench_util.hh"
+
+#include "common/table.hh"
+#include "pdn/transient.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+void
+printFigure()
+{
+    bench::banner("Extension - di/dt first-droop comparison");
+
+    const Current step = amps(15.0); // Turbo-entry-class load step
+    AsciiTable t({"PDN", "edge", "die droop (mV)", "pkg droop (mV)",
+                  "board droop (mV)", "worst (mV)",
+                  "max step @30mV (A)"});
+    for (PdnKind kind : allPdnKinds) {
+        TransientModel m(DecapStack::forPdn(kind));
+        for (double edge_ns : {0.5, 5.0, 50.0}) {
+            Time edge = microseconds(edge_ns * 1e-3);
+            DroopEstimate e = m.droop(step, edge);
+            t.addRow({toString(kind),
+                      strprintf("%.1fns", edge_ns),
+                      AsciiTable::num(inMillivolts(e.dieDroop), 1),
+                      AsciiTable::num(inMillivolts(e.packageDroop), 1),
+                      AsciiTable::num(inMillivolts(e.boardDroop), 1),
+                      AsciiTable::num(inMillivolts(e.worst()), 1),
+                      AsciiTable::num(
+                          inAmps(m.maxStep(millivolts(30.0), edge)),
+                          1)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check: IVR-style stacks droop hardest at "
+                 "fast edges; MBVR absorbs the largest steps; "
+                 "FlexWatts == IVR (shared decap, Sec. 6).\n\n";
+}
+
+void
+droopEstimation(benchmark::State &state)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::FlexWatts));
+    double step = 1.0;
+    for (auto _ : state) {
+        DroopEstimate e = m.droop(amps(step), microseconds(0.001));
+        benchmark::DoNotOptimize(e);
+        step = step < 40.0 ? step + 1.0 : 1.0;
+    }
+}
+
+BENCHMARK(droopEstimation);
+
+void
+maxStepSearch(benchmark::State &state)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::MBVR));
+    for (auto _ : state) {
+        Current c = m.maxStep(millivolts(30.0), microseconds(0.002));
+        benchmark::DoNotOptimize(c);
+    }
+}
+
+BENCHMARK(maxStepSearch);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

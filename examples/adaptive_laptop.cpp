@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Adaptive-laptop demo: run a synthetic "day in the life" client
+ * trace through the interval simulator with the full FlexWatts stack
+ * (activity sensors -> Algorithm 1 -> 94 us C6 switch flow) and
+ * compare against the oracle and the static PDNs.
+ *
+ * Usage: adaptive_laptop [tdp_watts] [seed]   (default 15, 2026)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "pdnspot/platform.hh"
+#include "sim/interval_simulator.hh"
+#include "workload/trace_generator.hh"
+
+using namespace pdnspot;
+
+int
+main(int argc, char **argv)
+{
+    double tdp_w = argc > 1 ? std::atof(argv[1]) : 15.0;
+    uint64_t seed = argc > 2
+                        ? static_cast<uint64_t>(std::atoll(argv[2]))
+                        : 2026;
+
+    Platform platform;
+    IntervalSimulator sim(platform.operatingPoints(), watts(tdp_w));
+
+    TraceGenerator generator(seed);
+    PhaseTrace trace = generator.dayInTheLife();
+    std::cout << "Trace '" << trace.name() << "': "
+              << trace.phases().size() << " phases, "
+              << AsciiTable::num(inSeconds(trace.totalDuration()), 2)
+              << "s simulated at " << tdp_w << "W TDP\n\n";
+
+    // FlexWatts under realistic PMU control.
+    PmuConfig cfg;
+    cfg.tdp = watts(tdp_w);
+    Pmu pmu(cfg, platform.predictor());
+    SimResult flex = sim.run(trace, platform.flexWatts(), pmu);
+
+    // Upper bound: oracle mode selection with free switches.
+    SimResult oracle = sim.runOracle(trace, platform.flexWatts());
+
+    AsciiTable t({"Configuration", "energy (J)", "avg power (W)",
+                  "avg ETEE", "switches"});
+    auto add = [&](const std::string &name, const SimResult &r) {
+        t.addRow({name, AsciiTable::num(inJoules(r.supplyEnergy), 3),
+                  AsciiTable::num(inWatts(r.averagePower()), 3),
+                  AsciiTable::percent(r.averageEtee(), 1),
+                  std::to_string(r.modeSwitches)});
+    };
+    add("FlexWatts (PMU + Algorithm 1)", flex);
+    add("FlexWatts (oracle)", oracle);
+    for (PdnKind kind :
+         {PdnKind::IVR, PdnKind::MBVR, PdnKind::LDO,
+          PdnKind::IplusMBVR}) {
+        add(toString(kind) + " (static)",
+            sim.run(trace, platform.pdn(kind)));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nFlexWatts mode residency: "
+              << AsciiTable::percent(
+                     flex.residency(HybridMode::IvrMode) /
+                         trace.totalDuration(),
+                     1)
+              << " IVR-Mode, "
+              << AsciiTable::percent(
+                     flex.residency(HybridMode::LdoMode) /
+                         trace.totalDuration(),
+                     1)
+              << " LDO-Mode; switch overhead "
+              << AsciiTable::num(
+                     inMicroseconds(flex.switchOverheadTime), 0)
+              << "us across " << flex.modeSwitches << " switches\n";
+
+    SimResult ivr = sim.run(trace, platform.pdn(PdnKind::IVR));
+    std::cout << "Energy saved vs the IVR PDN: "
+              << AsciiTable::percent(
+                     1.0 - inJoules(flex.supplyEnergy) /
+                               inJoules(ivr.supplyEnergy),
+                     1)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PDNspot quickstart: build a platform, evaluate the five PDN
+ * architectures at one operating point, and print what FlexWatts's
+ * mode predictor would do there.
+ *
+ * Usage: quickstart [tdp_watts]   (default 15)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "pdnspot/platform.hh"
+
+using namespace pdnspot;
+
+int
+main(int argc, char **argv)
+{
+    double tdp_w = argc > 1 ? std::atof(argv[1]) : 15.0;
+
+    // 1. A Platform bundles every model: operating points, the five
+    //    PDN topologies, the FlexWatts firmware tables, performance
+    //    and cost models.
+    Platform platform;
+
+    // 2. Describe the operating point to evaluate.
+    OperatingPointModel::Query query;
+    query.tdp = watts(tdp_w);
+    query.type = WorkloadType::MultiThread;
+    query.ar = 0.56; // the paper's reference application ratio
+    PlatformState state = platform.operatingPoints().build(query);
+
+    std::cout << "Operating point: " << tdp_w << "W TDP, "
+              << toString(query.type) << ", AR "
+              << AsciiTable::percent(query.ar, 0) << ", nominal load "
+              << AsciiTable::num(inWatts(state.totalNominalPower()), 2)
+              << "W\n\n";
+
+    // 3. Evaluate every PDN architecture at that point.
+    AsciiTable table({"PDN", "ETEE", "input power (W)",
+                      "chip current (A)"});
+    for (PdnKind kind : allPdnKinds) {
+        EteeResult r = platform.pdn(kind).evaluate(state);
+        table.addRow({toString(kind),
+                      AsciiTable::percent(r.etee(), 1),
+                      AsciiTable::num(inWatts(r.inputPower), 2),
+                      AsciiTable::num(inAmps(r.chipInputCurrent), 1)});
+    }
+    table.print(std::cout);
+
+    // 4. Ask FlexWatts which hybrid mode it would run here.
+    HybridMode mode = platform.flexWatts().bestMode(state);
+    std::cout << "\nFlexWatts hybrid rail mode at this point: "
+              << toString(mode) << "\n";
+
+    // 5. ... and what Algorithm 1 would predict from firmware tables.
+    PredictorInputs inputs;
+    inputs.tdp = query.tdp;
+    inputs.ar = query.ar;
+    inputs.workloadType = query.type;
+    std::cout << "Algorithm 1 prediction from the ETEE tables:  "
+              << toString(platform.predictor().predict(inputs))
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "common/interp.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+LinearTable::LinearTable(std::vector<std::pair<double, double>> points)
+    : _points(std::move(points))
+{
+    if (_points.empty())
+        fatal("LinearTable: at least one point required");
+    for (size_t i = 1; i < _points.size(); ++i) {
+        if (_points[i].first <= _points[i - 1].first) {
+            fatal(strprintf("LinearTable: x breakpoints must be strictly "
+                            "increasing (x[%zu]=%g <= x[%zu]=%g)",
+                            i, _points[i].first, i - 1,
+                            _points[i - 1].first));
+        }
+    }
+}
+
+double
+LinearTable::at(double x) const
+{
+    if (_points.size() == 1 || x <= _points.front().first)
+        return _points.front().second;
+    if (x >= _points.back().first)
+        return _points.back().second;
+
+    auto it = std::upper_bound(
+        _points.begin(), _points.end(), x,
+        [](double v, const std::pair<double, double> &p) {
+            return v < p.first;
+        });
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    double t = (x - lo.first) / (hi.first - lo.first);
+    return lo.second + t * (hi.second - lo.second);
+}
+
+double
+LinearTable::slopeAt(double x) const
+{
+    if (_points.size() < 2 || x < _points.front().first ||
+        x > _points.back().first) {
+        return 0.0;
+    }
+    auto it = std::upper_bound(
+        _points.begin(), _points.end(), x,
+        [](double v, const std::pair<double, double> &p) {
+            return v < p.first;
+        });
+    if (it == _points.end())
+        it = _points.end() - 1;
+    if (it == _points.begin())
+        it = _points.begin() + 1;
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    return (hi.second - lo.second) / (hi.first - lo.first);
+}
+
+double
+LinearTable::minX() const
+{
+    if (_points.empty())
+        panic("LinearTable::minX on empty table");
+    return _points.front().first;
+}
+
+double
+LinearTable::maxX() const
+{
+    if (_points.empty())
+        panic("LinearTable::maxX on empty table");
+    return _points.back().first;
+}
+
+BilinearGrid::BilinearGrid(std::vector<double> xs, std::vector<double> ys,
+                           std::vector<double> zs)
+    : _xs(std::move(xs)), _ys(std::move(ys)), _zs(std::move(zs))
+{
+    if (_xs.empty() || _ys.empty())
+        fatal("BilinearGrid: axes must be non-empty");
+    if (_zs.size() != _xs.size() * _ys.size()) {
+        fatal(strprintf("BilinearGrid: expected %zu values, got %zu",
+                        _xs.size() * _ys.size(), _zs.size()));
+    }
+    for (size_t i = 1; i < _xs.size(); ++i)
+        if (_xs[i] <= _xs[i - 1])
+            fatal("BilinearGrid: x axis must be strictly increasing");
+    for (size_t i = 1; i < _ys.size(); ++i)
+        if (_ys[i] <= _ys[i - 1])
+            fatal("BilinearGrid: y axis must be strictly increasing");
+}
+
+size_t
+BilinearGrid::bracket(const std::vector<double> &axis, double v,
+                      double &frac)
+{
+    if (axis.size() == 1 || v <= axis.front()) {
+        frac = 0.0;
+        return 0;
+    }
+    if (v >= axis.back()) {
+        frac = 1.0;
+        return axis.size() - 2;
+    }
+    auto it = std::upper_bound(axis.begin(), axis.end(), v);
+    size_t hi = static_cast<size_t>(it - axis.begin());
+    size_t lo = hi - 1;
+    frac = (v - axis[lo]) / (axis[hi] - axis[lo]);
+    return lo;
+}
+
+double
+BilinearGrid::at(double x, double y) const
+{
+    if (_zs.empty())
+        panic("BilinearGrid::at on empty grid");
+
+    double fx = 0.0, fy = 0.0;
+    size_t ix = bracket(_xs, x, fx);
+    size_t iy = bracket(_ys, y, fy);
+
+    size_t ny = _ys.size();
+    size_t ix1 = std::min(ix + 1, _xs.size() - 1);
+    size_t iy1 = std::min(iy + 1, ny - 1);
+
+    double z00 = _zs[ix * ny + iy];
+    double z01 = _zs[ix * ny + iy1];
+    double z10 = _zs[ix1 * ny + iy];
+    double z11 = _zs[ix1 * ny + iy1];
+
+    double z0 = z00 + fy * (z01 - z00);
+    double z1 = z10 + fy * (z11 - z10);
+    return z0 + fx * (z1 - z0);
+}
+
+} // namespace pdnspot

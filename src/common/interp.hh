@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Interpolation tables used by the PDN models.
+ *
+ * A modern power-management unit (PMU) stores most model relationships
+ * as firmware tables: VR efficiency as a function of output current,
+ * leakage as a function of temperature, voltage as a function of
+ * frequency (FlexWatts paper, Sec. 6, footnote 11). LinearTable and
+ * BilinearGrid are the two table shapes PDNspot needs: a 1-D
+ * piecewise-linear curve and a 2-D grid, both with clamping at the
+ * domain edges (a PMU never extrapolates beyond characterized silicon).
+ */
+
+#ifndef PDNSPOT_COMMON_INTERP_HH
+#define PDNSPOT_COMMON_INTERP_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace pdnspot
+{
+
+/**
+ * 1-D piecewise-linear lookup table y = f(x) with strictly increasing
+ * x breakpoints and edge clamping.
+ */
+class LinearTable
+{
+  public:
+    LinearTable() = default;
+
+    /** Build from (x, y) pairs; x must be strictly increasing. */
+    explicit LinearTable(std::vector<std::pair<double, double>> points);
+
+    LinearTable(std::initializer_list<std::pair<double, double>> points)
+        : LinearTable(std::vector<std::pair<double, double>>(points))
+    {}
+
+    /** Interpolated value, clamped to the first/last breakpoint. */
+    double at(double x) const;
+
+    /** Local slope dy/dx at x (clamped regions have slope 0). */
+    double slopeAt(double x) const;
+
+    bool empty() const { return _points.empty(); }
+    size_t size() const { return _points.size(); }
+
+    double minX() const;
+    double maxX() const;
+
+    const std::vector<std::pair<double, double>> &points() const
+    {
+        return _points;
+    }
+
+  private:
+    std::vector<std::pair<double, double>> _points;
+};
+
+/**
+ * 2-D bilinear lookup z = f(x, y) over a rectangular grid with edge
+ * clamping on both axes.
+ */
+class BilinearGrid
+{
+  public:
+    BilinearGrid() = default;
+
+    /**
+     * @param xs strictly increasing x breakpoints (size nx)
+     * @param ys strictly increasing y breakpoints (size ny)
+     * @param zs row-major values, zs[ix * ny + iy] (size nx * ny)
+     */
+    BilinearGrid(std::vector<double> xs, std::vector<double> ys,
+                 std::vector<double> zs);
+
+    /** Bilinearly interpolated value, clamped at grid edges. */
+    double at(double x, double y) const;
+
+    bool empty() const { return _zs.empty(); }
+
+  private:
+    /** Index of the left breakpoint bracketing v in axis. */
+    static size_t bracket(const std::vector<double> &axis, double v,
+                          double &frac);
+
+    std::vector<double> _xs;
+    std::vector<double> _ys;
+    std::vector<double> _zs;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_COMMON_INTERP_HH

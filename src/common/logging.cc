@@ -1,0 +1,54 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+namespace pdnspot
+{
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw ConfigError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw ModelError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace pdnspot

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, following the gem5
+ * fatal()/panic()/warn()/inform() convention.
+ *
+ * fatal()  - user-correctable misconfiguration; throws ConfigError so
+ *            library callers can recover.
+ * panic()  - internal invariant violation (a bug in this library);
+ *            throws ModelError.
+ * warn()   - suspicious but survivable condition, printed to stderr.
+ * inform() - plain status message, printed to stderr.
+ */
+
+#ifndef PDNSPOT_COMMON_LOGGING_HH
+#define PDNSPOT_COMMON_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace pdnspot
+{
+
+/** Raised by fatal(): bad user input or configuration. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Raised by panic(): internal model invariant violated. */
+class ModelError : public std::logic_error
+{
+  public:
+    explicit ModelError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user-correctable error. Never returns. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation. Never returns. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print a status message to stderr. */
+void inform(const std::string &msg);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_COMMON_LOGGING_HH

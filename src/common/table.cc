@@ -1,0 +1,117 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        fatal("AsciiTable: at least one column required");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size()) {
+        fatal(strprintf("AsciiTable: row has %zu cells, expected %zu",
+                        cells.size(), _headers.size()));
+    }
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+AsciiTable::percent(double ratio, int precision)
+{
+    return strprintf("%.*f%%", precision, ratio * 100.0);
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(_headers.size());
+    for (size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 < row.size() ? "  " : "");
+        }
+        os << "\n";
+    };
+
+    emit_row(_headers);
+    for (size_t c = 0; c < _headers.size(); ++c) {
+        os << std::string(widths[c], '-')
+           << (c + 1 < _headers.size() ? "  " : "");
+    }
+    os << "\n";
+    for (const auto &row : _rows)
+        emit_row(row);
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        fatal("CsvWriter: at least one column required");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size()) {
+        fatal(strprintf("CsvWriter: row has %zu cells, expected %zu",
+                        cells.size(), _headers.size()));
+    }
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::write(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << escape(row[c]);
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(_headers);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+} // namespace pdnspot

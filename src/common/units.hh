@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Strong physical-quantity types with compile-time dimensional algebra.
+ *
+ * PDN modeling mixes voltages, currents, powers, impedances, energies and
+ * times in long equation chains (Eq. 2-12 of the FlexWatts paper). Plain
+ * doubles make it easy to, e.g., divide a power by a current where a
+ * voltage was intended. Quantity<> encodes the SI dimension exponents
+ * (mass, length, time, current) in the type so that multiplication and
+ * division produce the correctly-dimensioned result and mismatched
+ * additions fail to compile.
+ *
+ * The wrappers are zero-overhead: a Quantity is a single double.
+ */
+
+#ifndef PDNSPOT_COMMON_UNITS_HH
+#define PDNSPOT_COMMON_UNITS_HH
+
+#include <cmath>
+#include <compare>
+
+namespace pdnspot
+{
+
+/**
+ * A physical quantity carrying SI dimension exponents in its type.
+ *
+ * @tparam M mass exponent (kg)
+ * @tparam L length exponent (m)
+ * @tparam T time exponent (s)
+ * @tparam I current exponent (A)
+ */
+template <int M, int L, int T, int I>
+class Quantity
+{
+  public:
+    constexpr Quantity() : _value(0.0) {}
+    constexpr explicit Quantity(double v) : _value(v) {}
+
+    /** Raw magnitude in base SI units. */
+    constexpr double value() const { return _value; }
+
+    constexpr Quantity operator-() const { return Quantity(-_value); }
+
+    constexpr Quantity
+    operator+(Quantity other) const
+    {
+        return Quantity(_value + other._value);
+    }
+
+    constexpr Quantity
+    operator-(Quantity other) const
+    {
+        return Quantity(_value - other._value);
+    }
+
+    constexpr Quantity &
+    operator+=(Quantity other)
+    {
+        _value += other._value;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator-=(Quantity other)
+    {
+        _value -= other._value;
+        return *this;
+    }
+
+    constexpr Quantity operator*(double s) const { return Quantity(_value * s); }
+    constexpr Quantity operator/(double s) const { return Quantity(_value / s); }
+
+    constexpr Quantity &
+    operator*=(double s)
+    {
+        _value *= s;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator/=(double s)
+    {
+        _value /= s;
+        return *this;
+    }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double _value;
+};
+
+/** scalar * quantity */
+template <int M, int L, int T, int I>
+constexpr Quantity<M, L, T, I>
+operator*(double s, Quantity<M, L, T, I> q)
+{
+    return Quantity<M, L, T, I>(s * q.value());
+}
+
+/** quantity * quantity: dimensions add */
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+constexpr auto
+operator*(Quantity<M1, L1, T1, I1> a, Quantity<M2, L2, T2, I2> b)
+{
+    if constexpr (M1 + M2 == 0 && L1 + L2 == 0 && T1 + T2 == 0 &&
+                  I1 + I2 == 0) {
+        return a.value() * b.value();
+    } else {
+        return Quantity<M1 + M2, L1 + L2, T1 + T2, I1 + I2>(
+            a.value() * b.value());
+    }
+}
+
+/** quantity / quantity: dimensions subtract; same-dim division is a ratio */
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+constexpr auto
+operator/(Quantity<M1, L1, T1, I1> a, Quantity<M2, L2, T2, I2> b)
+{
+    if constexpr (M1 == M2 && L1 == L2 && T1 == T2 && I1 == I2) {
+        return a.value() / b.value();
+    } else {
+        return Quantity<M1 - M2, L1 - L2, T1 - T2, I1 - I2>(
+            a.value() / b.value());
+    }
+}
+
+/** scalar / quantity: dimensions negate */
+template <int M, int L, int T, int I>
+constexpr Quantity<-M, -L, -T, -I>
+operator/(double s, Quantity<M, L, T, I> q)
+{
+    return Quantity<-M, -L, -T, -I>(s / q.value());
+}
+
+// Electrical and mechanical quantities used throughout the PDN models.
+using Voltage = Quantity<1, 2, -3, -1>;   ///< volt
+using Current = Quantity<0, 0, 0, 1>;     ///< ampere
+using Power = Quantity<1, 2, -3, 0>;      ///< watt
+using Resistance = Quantity<1, 2, -3, -2>; ///< ohm
+using Energy = Quantity<1, 2, -2, 0>;     ///< joule
+using Time = Quantity<0, 0, 1, 0>;        ///< second
+using Frequency = Quantity<0, 0, -1, 0>;  ///< hertz
+using Charge = Quantity<0, 0, 1, 1>;      ///< coulomb
+using Area = Quantity<0, 2, 0, 0>;        ///< square metre
+
+// Construction helpers in conventional engineering units.
+constexpr Voltage volts(double v) { return Voltage(v); }
+constexpr Voltage millivolts(double v) { return Voltage(v * 1e-3); }
+constexpr Current amps(double v) { return Current(v); }
+constexpr Current milliamps(double v) { return Current(v * 1e-3); }
+constexpr Power watts(double v) { return Power(v); }
+constexpr Power milliwatts(double v) { return Power(v * 1e-3); }
+constexpr Resistance ohms(double v) { return Resistance(v); }
+constexpr Resistance milliohms(double v) { return Resistance(v * 1e-3); }
+constexpr Energy joules(double v) { return Energy(v); }
+constexpr Energy wattHours(double v) { return Energy(v * 3600.0); }
+constexpr Time seconds(double v) { return Time(v); }
+constexpr Time milliseconds(double v) { return Time(v * 1e-3); }
+constexpr Time microseconds(double v) { return Time(v * 1e-6); }
+constexpr Frequency hertz(double v) { return Frequency(v); }
+constexpr Frequency megahertz(double v) { return Frequency(v * 1e6); }
+constexpr Frequency gigahertz(double v) { return Frequency(v * 1e9); }
+constexpr Area squareMillimetres(double v) { return Area(v * 1e-6); }
+
+// Readback helpers in conventional engineering units.
+constexpr double inVolts(Voltage v) { return v.value(); }
+constexpr double inMillivolts(Voltage v) { return v.value() * 1e3; }
+constexpr double inAmps(Current i) { return i.value(); }
+constexpr double inWatts(Power p) { return p.value(); }
+constexpr double inMilliwatts(Power p) { return p.value() * 1e3; }
+constexpr double inMilliohms(Resistance r) { return r.value() * 1e3; }
+constexpr double inJoules(Energy e) { return e.value(); }
+constexpr double inWattHours(Energy e) { return e.value() / 3600.0; }
+constexpr double inSeconds(Time t) { return t.value(); }
+constexpr double inMicroseconds(Time t) { return t.value() * 1e6; }
+constexpr double inGigahertz(Frequency f) { return f.value() * 1e-9; }
+constexpr double inSquareMillimetres(Area a) { return a.value() * 1e6; }
+
+/**
+ * Temperature in degrees Celsius. Kept distinct from Quantity because
+ * Celsius is an affine scale: products and ratios of temperatures have
+ * no physical meaning in our models, only differences do.
+ */
+class Celsius
+{
+  public:
+    constexpr Celsius() : _value(0.0) {}
+    constexpr explicit Celsius(double deg) : _value(deg) {}
+
+    constexpr double degrees() const { return _value; }
+
+    /** Temperature difference in kelvin (== Celsius degrees). */
+    constexpr double operator-(Celsius other) const
+    {
+        return _value - other._value;
+    }
+
+    constexpr auto operator<=>(const Celsius &) const = default;
+
+  private:
+    double _value;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_COMMON_UNITS_HH

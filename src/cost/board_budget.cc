@@ -1,0 +1,100 @@
+#include "cost/board_budget.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+BoardCostCalculator::BoardCostCalculator(const OperatingPointModel &opm,
+                                         VrCostModel cost_model,
+                                         BoardCostParams params)
+    : _opm(opm), _costModel(cost_model), _params(params)
+{}
+
+double
+BoardCostCalculator::turboMultiplier(Power tdp, bool graphics) const
+{
+    // Turbo can push the clock to the domain's Fmax regardless of the
+    // configured TDP (cTDP makes the silicon identical across
+    // segments), bounded by the electrical design ceiling.
+    Frequency base = graphics ? _opm.gfxBaseFrequency(tdp)
+                              : _opm.coreBaseFrequency(tdp);
+    Frequency fmax = graphics ? _opm.gfxVf().fmax()
+                              : _opm.coreVf().fmax();
+    double headroom = fmax / base;
+    return std::clamp(headroom, 1.0, _params.turboCeiling);
+}
+
+std::vector<OffChipRail>
+BoardCostCalculator::worstCaseRails(const PdnModel &pdn, Power tdp) const
+{
+    // Two sizing corners: CPU-intensive and graphics-intensive, each
+    // at the Turbo frequency ceiling for this TDP.
+    OperatingPointModel::Query cpu;
+    cpu.tdp = tdp;
+    cpu.type = WorkloadType::MultiThread;
+    cpu.freqMultiplier = turboMultiplier(tdp, false);
+
+    OperatingPointModel::Query gfx;
+    gfx.tdp = tdp;
+    gfx.type = WorkloadType::Graphics;
+    gfx.freqMultiplier = turboMultiplier(tdp, true);
+
+    std::map<std::string, OffChipRail> merged;
+    for (const auto &q : {cpu, gfx}) {
+        for (const OffChipRail &rail :
+             pdn.offChipRails(_opm.build(q))) {
+            auto [it, inserted] = merged.emplace(rail.name, rail);
+            if (!inserted) {
+                it->second.iccMax =
+                    std::max(it->second.iccMax, rail.iccMax);
+                it->second.outputVoltage = std::max(
+                    it->second.outputVoltage, rail.outputVoltage);
+            }
+        }
+    }
+
+    std::vector<OffChipRail> rails;
+    rails.reserve(merged.size());
+    for (auto &[name, rail] : merged)
+        rails.push_back(std::move(rail));
+    return rails;
+}
+
+BoardBudget
+BoardCostCalculator::evaluate(const PdnModel &pdn, Power tdp) const
+{
+    BoardBudget budget;
+    budget.rails = worstCaseRails(pdn, tdp);
+    budget.usesPmic = tdp <= _params.pmicMaxTdp;
+
+    double rail_cost_sum = 0.0;
+    double rail_area_sum = 0.0;
+    for (const OffChipRail &rail : budget.rails) {
+        rail_cost_sum += _costModel.railCost(rail.iccMax);
+        rail_area_sum +=
+            inSquareMillimetres(_costModel.railArea(rail.iccMax));
+    }
+
+    double nrails = static_cast<double>(budget.rails.size());
+    if (budget.usesPmic) {
+        budget.bomCostUsd = _params.pmicBaseUsd +
+                            _params.pmicRailCostFactor * rail_cost_sum;
+        budget.boardArea =
+            _params.pmicBaseArea +
+            squareMillimetres(_params.pmicRailAreaFactor *
+                              rail_area_sum);
+    } else {
+        budget.bomCostUsd =
+            rail_cost_sum + _params.vrmPerRailUsd * nrails;
+        budget.boardArea =
+            squareMillimetres(rail_area_sum) +
+            _params.vrmPerRailArea * nrails;
+    }
+    return budget;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Whole-PDN bill-of-materials and board-area calculator (Fig. 8d/8e).
+ *
+ * For each PDN and TDP, the calculator sizes every off-chip rail for
+ * the worst current it must deliver: the CPU-intensive and
+ * graphics-intensive operating points, each with Turbo headroom (a
+ * low-TDP part can run heavy workloads via Turbo Boost, Sec. 1) and
+ * worst-case (power-virus) peak via the load-line AR division. Rails
+ * are merged by name taking the per-rail maximum. Platforms up to
+ * 18 W TDP use a PMIC that consolidates controllers (Sec. 3.2);
+ * larger platforms use discrete VRM rails.
+ */
+
+#ifndef PDNSPOT_COST_BOARD_BUDGET_HH
+#define PDNSPOT_COST_BOARD_BUDGET_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "cost/vr_cost_model.hh"
+#include "pdn/pdn_model.hh"
+#include "power/operating_point.hh"
+
+namespace pdnspot
+{
+
+/** BOM and area of one PDN's off-chip delivery at one TDP. */
+struct BoardBudget
+{
+    double bomCostUsd = 0.0;
+    Area boardArea;
+    bool usesPmic = false;
+    std::vector<OffChipRail> rails; ///< merged worst-case rails
+};
+
+/** Sizing/consolidation parameters. */
+struct BoardCostParams
+{
+    Power pmicMaxTdp = watts(18.0);  ///< PMIC up to here, VRM above
+    double pmicBaseUsd = 0.45;       ///< PMIC package + controller
+    double pmicRailCostFactor = 0.5; ///< consolidation discount
+    Area pmicBaseArea = squareMillimetres(35.0);
+    double pmicRailAreaFactor = 0.6; ///< inductors stay discrete
+    double vrmPerRailUsd = 0.10;     ///< per-rail periphery (VRM)
+    Area vrmPerRailArea = squareMillimetres(8.0);
+    double turboCeiling = 2.0;       ///< max Turbo frequency multiple
+};
+
+/** Computes BoardBudgets for any PdnModel. */
+class BoardCostCalculator
+{
+  public:
+    explicit BoardCostCalculator(const OperatingPointModel &opm,
+                                 VrCostModel cost_model = VrCostModel(),
+                                 BoardCostParams params = {});
+
+    /** Size, price and measure one PDN at one TDP. */
+    BoardBudget evaluate(const PdnModel &pdn, Power tdp) const;
+
+    /**
+     * The merged worst-case rail set a PDN needs at a TDP (CPU and
+     * graphics peaks with Turbo headroom).
+     */
+    std::vector<OffChipRail> worstCaseRails(const PdnModel &pdn,
+                                            Power tdp) const;
+
+  private:
+    double turboMultiplier(Power tdp, bool graphics) const;
+
+    const OperatingPointModel &_opm;
+    VrCostModel _costModel;
+    BoardCostParams _params;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_COST_BOARD_BUDGET_HH

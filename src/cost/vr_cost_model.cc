@@ -1,0 +1,42 @@
+#include "cost/vr_cost_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+VrCostModel::VrCostModel(VrCostParams params)
+    : _params(params)
+{
+    if (_params.costSlopeUsd < 0.0 || _params.areaSlopeMm2 < 0.0)
+        fatal("VrCostModel: negative slope");
+}
+
+double
+VrCostModel::railCost(Current icc_max) const
+{
+    if (icc_max < amps(0.0))
+        fatal("VrCostModel: negative Iccmax");
+    if (icc_max == amps(0.0))
+        return 0.0;
+    return _params.costBaseUsd +
+           _params.costSlopeUsd *
+               std::pow(inAmps(icc_max), _params.costExponent);
+}
+
+Area
+VrCostModel::railArea(Current icc_max) const
+{
+    if (icc_max < amps(0.0))
+        fatal("VrCostModel: negative Iccmax");
+    if (icc_max == amps(0.0))
+        return Area();
+    return squareMillimetres(
+        _params.areaBaseMm2 +
+        _params.areaSlopeMm2 *
+            std::pow(inAmps(icc_max), _params.areaExponent));
+}
+
+} // namespace pdnspot

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-rail VR cost and board-area models.
+ *
+ * The paper maps each off-chip rail's maximum design current (Iccmax)
+ * to dollars and square millimetres using a Texas Instruments vendor
+ * table (Sec. 3.2). The vendor table is not redistributable, so this
+ * model uses the monotone power-law fit such tables follow: a small
+ * per-rail floor (controller, feedback network) plus a term that
+ * grows slightly super-linearly with current for cost (more phases,
+ * bigger FETs) and slightly sub-linearly for area (inductor volume
+ * amortizes). Only the monotone mapping matters for the paper's
+ * normalized BOM/area ratios.
+ */
+
+#ifndef PDNSPOT_COST_VR_COST_MODEL_HH
+#define PDNSPOT_COST_VR_COST_MODEL_HH
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** Coefficients of the Iccmax -> cost/area fits. */
+struct VrCostParams
+{
+    double costBaseUsd = 0.06;   ///< per-rail floor
+    double costSlopeUsd = 0.11;  ///< dollars per A^costExponent
+    double costExponent = 1.22;
+
+    double areaBaseMm2 = 10.0;
+    double areaSlopeMm2 = 9.0;   ///< mm^2 per A^areaExponent
+    double areaExponent = 0.9;
+};
+
+/** Maps a rail's Iccmax to its bill-of-materials cost and area. */
+class VrCostModel
+{
+  public:
+    explicit VrCostModel(VrCostParams params = {});
+
+    /** Discrete-VR cost of one rail in USD. */
+    double railCost(Current icc_max) const;
+
+    /** Board area of one rail (power stage + inductor + caps). */
+    Area railArea(Current icc_max) const;
+
+    const VrCostParams &params() const { return _params; }
+
+  private:
+    VrCostParams _params;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_COST_VR_COST_MODEL_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PMU-firmware ETEE curve tables (paper Sec. 6, Algorithm 1).
+ *
+ * FlexWatts's mode predictor does not evaluate the full PDN model at
+ * runtime; like every other PMU algorithm it consults pre-characterized
+ * firmware tables (footnote 11). EteeTable holds, for each hybrid mode
+ * and workload type, a (TDP x AR) grid of ETEE values, plus one row of
+ * ETEE per package C-state; lookups interpolate bilinearly. The tables
+ * are generated offline by sampling the FlexWattsPdn model, exactly as
+ * a vendor would fuse post-silicon characterization data.
+ */
+
+#ifndef PDNSPOT_FLEXWATTS_ETEE_TABLE_HH
+#define PDNSPOT_FLEXWATTS_ETEE_TABLE_HH
+
+#include <map>
+
+#include "common/interp.hh"
+#include "common/units.hh"
+#include "flexwatts/flexwatts_pdn.hh"
+#include "flexwatts/hybrid_mode.hh"
+#include "power/operating_point.hh"
+
+namespace pdnspot
+{
+
+/** Characterization grid (the paper's Fig. 4 axes). */
+struct EteeGridSpec
+{
+    std::vector<double> tdpsW = {4.0, 8.0, 10.0, 18.0, 25.0, 36.0,
+                                 50.0};
+    std::vector<double> ars = {0.30, 0.40, 0.50, 0.60, 0.70, 0.80,
+                               0.90};
+};
+
+/** Pre-characterized ETEE curves for both hybrid modes. */
+class EteeTable
+{
+  public:
+    using GridSpec = EteeGridSpec;
+
+    /** Characterize a FlexWatts PDN over the default grid. */
+    EteeTable(const FlexWattsPdn &pdn, const OperatingPointModel &opm);
+
+    /** Characterize a FlexWatts PDN over a custom grid. */
+    EteeTable(const FlexWattsPdn &pdn, const OperatingPointModel &opm,
+              GridSpec grid);
+
+    /** ETEE of one mode in an active (C0) state. */
+    double lookupActive(HybridMode mode, WorkloadType type, Power tdp,
+                        double ar) const;
+
+    /** ETEE of one mode in a package C-state (Fig. 4j row). */
+    double lookupCState(HybridMode mode, PackageCState state) const;
+
+  private:
+    static size_t modeIndex(HybridMode m);
+
+    std::map<std::pair<size_t, WorkloadType>, BilinearGrid> _active;
+    std::map<std::pair<size_t, PackageCState>, double> _cstates;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_FLEXWATTS_ETEE_TABLE_HH

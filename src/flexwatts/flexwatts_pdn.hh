@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The FlexWatts hybrid adaptive PDN (paper Sec. 6, Fig. 6).
+ *
+ * Topology: the compute domains (cores, LLC, GFX) sit on a hybrid
+ * rail that operates either as an IVR chain (V_IN at 1.8 V, on-die
+ * buck second stage) or as an LDO chain (V_IN at the max compute
+ * voltage, on-die LDO second stage); SA and IO get dedicated one-stage
+ * off-chip VRs behind power gates. Resource sharing between the two
+ * modes slightly raises the compute load-line relative to the pure
+ * IVR (1.1 vs 1.0 mOhm) and pure LDO (1.4 vs 1.25 mOhm) PDNs, which
+ * is why FlexWatts trails the per-TDP best static PDN by <1% (Sec. 7).
+ *
+ * The off-chip rail set is sized for IVR-Mode: whenever a high-current
+ * workload arrives the predictor switches to IVR-Mode, so the shared
+ * V_IN never needs LDO-Mode-level current (Sec. 7, "Why does FlexWatts
+ * have better BOM and board area than LDO and MBVR?").
+ */
+
+#ifndef PDNSPOT_FLEXWATTS_FLEXWATTS_PDN_HH
+#define PDNSPOT_FLEXWATTS_FLEXWATTS_PDN_HH
+
+#include <vector>
+
+#include "flexwatts/hybrid_mode.hh"
+#include "pdn/load_line.hh"
+#include "pdn/pdn_model.hh"
+#include "vr/buck_vr.hh"
+#include "vr/ivr.hh"
+#include "vr/ldo_vr.hh"
+
+namespace pdnspot
+{
+
+/** Topology parameters of the FlexWatts PDN. */
+struct FlexWattsParams
+{
+    Voltage tobIvrMode = millivolts(21.0); ///< slightly above pure IVR
+    Voltage tobLdoMode = millivolts(18.0); ///< slightly above pure LDO
+    Resistance rllInIvrMode = milliohms(1.1);  ///< vs 1.0 for pure IVR
+    Resistance rllInLdoMode = milliohms(1.4);  ///< vs 1.25 for pure LDO
+    Resistance rllSa = milliohms(7.0);
+    Resistance rllIo = milliohms(4.0);
+};
+
+/** The hybrid adaptive PDN. */
+class FlexWattsPdn : public PdnModel
+{
+  public:
+    explicit FlexWattsPdn(PdnPlatformParams platform = {},
+                          FlexWattsParams params = {});
+
+    std::string name() const override { return "FlexWatts"; }
+    PdnKind kind() const override { return PdnKind::FlexWatts; }
+
+    /**
+     * Oracle evaluation: the hybrid rail uses whichever mode yields
+     * the higher ETEE at this operating point (what the paper's
+     * evaluation assumes the predictor achieves at steady state).
+     */
+    EteeResult evaluate(const PlatformState &state) const override;
+
+    /** Evaluation pinned to one mode. */
+    EteeResult evaluate(const PlatformState &state,
+                        HybridMode mode) const;
+
+    /** The oracle-best mode at this operating point. */
+    HybridMode bestMode(const PlatformState &state) const;
+
+    std::vector<OffChipRail>
+    offChipRails(const PlatformState &peak) const override;
+
+    const FlexWattsParams &params() const { return _params; }
+
+  private:
+    FlexWattsParams _params;
+    Ivr _ivr;
+    LdoVr _ldo;
+    BuckVr _vrIn;
+    BuckVr _vrSa;
+    BuckVr _vrIo;
+    LoadLine _llInIvrMode;
+    LoadLine _llInLdoMode;
+    LoadLine _llSa;
+    LoadLine _llIo;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_FLEXWATTS_FLEXWATTS_PDN_HH

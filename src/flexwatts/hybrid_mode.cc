@@ -1,0 +1,20 @@
+#include "flexwatts/hybrid_mode.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+std::string
+toString(HybridMode mode)
+{
+    switch (mode) {
+      case HybridMode::IvrMode:
+        return "IVR-Mode";
+      case HybridMode::LdoMode:
+        return "LDO-Mode";
+    }
+    panic("toString: invalid HybridMode");
+}
+
+} // namespace pdnspot

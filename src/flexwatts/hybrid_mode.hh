@@ -1,0 +1,30 @@
+/**
+ * @file
+ * FlexWatts hybrid-PDN operating modes.
+ */
+
+#ifndef PDNSPOT_FLEXWATTS_HYBRID_MODE_HH
+#define PDNSPOT_FLEXWATTS_HYBRID_MODE_HH
+
+#include <array>
+#include <string>
+
+namespace pdnspot
+{
+
+/** The two modes of the FlexWatts hybrid compute rail (Sec. 6). */
+enum class HybridMode
+{
+    IvrMode, ///< V_IN at 1.8 V, on-die buck converters regulate
+    LdoMode, ///< V_IN at the max domain voltage, on-die LDOs regulate
+};
+
+inline constexpr std::array<HybridMode, 2> allHybridModes = {
+    HybridMode::IvrMode, HybridMode::LdoMode,
+};
+
+std::string toString(HybridMode mode);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_FLEXWATTS_HYBRID_MODE_HH

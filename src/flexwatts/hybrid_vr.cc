@@ -1,0 +1,46 @@
+#include "flexwatts/hybrid_vr.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+HybridVr::HybridVr(std::string name, IvrParams ivr_params,
+                   LdoParams ldo_params, HybridMode initial)
+    : _name(std::move(name)),
+      _ivr(std::move(ivr_params)),
+      _ldo(std::move(ldo_params)),
+      _mode(initial)
+{}
+
+void
+HybridVr::setMode(HybridMode mode, bool domain_active)
+{
+    if (mode == _mode)
+        return;
+    if (domain_active) {
+        panic(strprintf("HybridVr %s: mode switch requested while the "
+                        "domain is active; the C6 flow must gate the "
+                        "domain first (voltage-noise-free invariant)",
+                        _name.c_str()));
+    }
+    _mode = mode;
+}
+
+Power
+HybridVr::inputPower(Voltage vin, Voltage vout, Power pout) const
+{
+    if (_mode == HybridMode::IvrMode)
+        return _ivr.inputPower(vin, vout, pout);
+    return _ldo.inputPower(vin, vout, pout);
+}
+
+double
+HybridVr::efficiency(Voltage vin, Voltage vout, Power pout) const
+{
+    if (pout <= watts(0.0))
+        return 0.0;
+    return pout / inputPower(vin, vout, pout);
+}
+
+} // namespace pdnspot

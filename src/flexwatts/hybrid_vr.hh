@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The FlexWatts hybrid voltage regulator (Sec. 6, Fig. 6 right side).
+ *
+ * A hybrid VR extends a baseline on-die IVR with an LDO mode that
+ * reuses the IVR's high-side NMOS power switch, following Luria et
+ * al.'s dual-mode LDO/power-gate (JSSC 2016). Sharing the switch,
+ * the decoupling capacitors and the board/package/die routing keeps
+ * the added die area at ~0.041 mm^2 per rail at 14 nm -- 0.03-0.04%
+ * of a client die.
+ *
+ * The class enforces the voltage-noise-free invariant: the mode may
+ * only change while the attached domain is inactive (the paper's
+ * package-C6 mode-switching flow guarantees this).
+ */
+
+#ifndef PDNSPOT_FLEXWATTS_HYBRID_VR_HH
+#define PDNSPOT_FLEXWATTS_HYBRID_VR_HH
+
+#include <string>
+
+#include "common/units.hh"
+#include "flexwatts/hybrid_mode.hh"
+#include "vr/ivr.hh"
+#include "vr/ldo_vr.hh"
+
+namespace pdnspot
+{
+
+/** One hybrid (IVR/LDO) on-die regulator. */
+class HybridVr
+{
+  public:
+    /** Extra die area of the LDO mode at 14 nm (Luria et al.). */
+    static Area ldoModeAreaOverhead()
+    {
+        return squareMillimetres(0.041);
+    }
+
+    HybridVr(std::string name, IvrParams ivr_params,
+             LdoParams ldo_params,
+             HybridMode initial = HybridMode::IvrMode);
+
+    const std::string &name() const { return _name; }
+    HybridMode mode() const { return _mode; }
+
+    /**
+     * Reconfigure the regulator. The attached domain must be inactive
+     * (voltage removed by the C6 flow); switching under load would
+     * inject voltage noise, so it is rejected as a caller bug.
+     */
+    void setMode(HybridMode mode, bool domain_active);
+
+    /** Input power for pout in the current mode. */
+    Power inputPower(Voltage vin, Voltage vout, Power pout) const;
+
+    /** Conversion efficiency in the current mode. */
+    double efficiency(Voltage vin, Voltage vout, Power pout) const;
+
+    const Ivr &ivr() const { return _ivr; }
+    const LdoVr &ldo() const { return _ldo; }
+
+  private:
+    std::string _name;
+    Ivr _ivr;
+    LdoVr _ldo;
+    HybridMode _mode;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_FLEXWATTS_HYBRID_VR_HH

@@ -1,0 +1,46 @@
+#include "flexwatts/mode_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+ModePredictor::ModePredictor(const EteeTable &table, double hysteresis)
+    : _table(table), _hysteresis(hysteresis)
+{
+    if (hysteresis < 0.0 || hysteresis >= 1.0)
+        fatal("ModePredictor: hysteresis must be in [0, 1)");
+}
+
+double
+ModePredictor::predictedEtee(const PredictorInputs &in,
+                             HybridMode mode) const
+{
+    if (in.powerState == PackageCState::C0) {
+        return _table.lookupActive(mode, in.workloadType, in.tdp,
+                                   in.ar);
+    }
+    return _table.lookupCState(mode, in.powerState);
+}
+
+HybridMode
+ModePredictor::predict(const PredictorInputs &in) const
+{
+    // Algorithm 1: IVR_ETEE >= LDO_ETEE ? IVR-Mode : LDO-Mode.
+    double ivr = predictedEtee(in, HybridMode::IvrMode);
+    double ldo = predictedEtee(in, HybridMode::LdoMode);
+    return ivr >= ldo ? HybridMode::IvrMode : HybridMode::LdoMode;
+}
+
+HybridMode
+ModePredictor::decide(const PredictorInputs &in, HybridMode current) const
+{
+    HybridMode other = current == HybridMode::IvrMode
+                           ? HybridMode::LdoMode
+                           : HybridMode::IvrMode;
+    double etee_current = predictedEtee(in, current);
+    double etee_other = predictedEtee(in, other);
+    return etee_other > etee_current + _hysteresis ? other : current;
+}
+
+} // namespace pdnspot

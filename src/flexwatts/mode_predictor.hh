@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FlexWatts runtime mode-prediction algorithm (paper Algorithm 1).
+ *
+ * Every evaluation interval (e.g. 10 ms) the PMU estimates the
+ * platform inputs -- configured TDP, AR (from activity sensors),
+ * workload type (from active domains) and package power state -- and
+ * looks up the stored ETEE curves for both hybrid modes, choosing the
+ * one with the higher predicted ETEE. A small hysteresis margin (an
+ * engineering extension over the paper's bare comparison) prevents
+ * mode thrashing when the two curves cross shallowly, since every
+ * switch costs a ~94 us idle window.
+ */
+
+#ifndef PDNSPOT_FLEXWATTS_MODE_PREDICTOR_HH
+#define PDNSPOT_FLEXWATTS_MODE_PREDICTOR_HH
+
+#include <optional>
+
+#include "flexwatts/etee_table.hh"
+#include "flexwatts/hybrid_mode.hh"
+
+namespace pdnspot
+{
+
+/** Inputs Algorithm 1 consumes (estimated at runtime by the PMU). */
+struct PredictorInputs
+{
+    Power tdp;
+    double ar = 0.56;
+    WorkloadType workloadType = WorkloadType::MultiThread;
+    PackageCState powerState = PackageCState::C0;
+};
+
+/** Algorithm 1 with optional switch hysteresis. */
+class ModePredictor
+{
+  public:
+    /**
+     * @param table pre-characterized ETEE curves
+     * @param hysteresis minimum absolute ETEE advantage the
+     *        non-current mode must show before a switch is advised;
+     *        0 reproduces the paper's bare argmax
+     */
+    explicit ModePredictor(const EteeTable &table,
+                           double hysteresis = 0.0);
+
+    /**
+     * The paper's Algorithm 1: the mode with the higher predicted
+     * ETEE (ties go to IVR-Mode).
+     */
+    HybridMode predict(const PredictorInputs &in) const;
+
+    /**
+     * Hysteresis-aware decision: returns the mode to use given the
+     * currently configured mode; only advises a switch when the other
+     * mode's predicted ETEE advantage exceeds the margin.
+     */
+    HybridMode decide(const PredictorInputs &in,
+                      HybridMode current) const;
+
+    /** Predicted ETEE of one mode for these inputs. */
+    double predictedEtee(const PredictorInputs &in,
+                         HybridMode mode) const;
+
+    double hysteresis() const { return _hysteresis; }
+
+  private:
+    const EteeTable &_table;
+    double _hysteresis;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_FLEXWATTS_MODE_PREDICTOR_HH

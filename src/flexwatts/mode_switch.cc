@@ -1,0 +1,35 @@
+#include "flexwatts/mode_switch.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+ModeSwitchFlow::ModeSwitchFlow(HybridMode initial,
+                               ModeSwitchParams params)
+    : _params(params), _mode(initial), _busyUntil(seconds(0.0)),
+      _totalOverhead(seconds(0.0))
+{
+    if (_params.totalLatency() <= seconds(0.0))
+        fatal("ModeSwitchFlow: non-positive switch latency");
+}
+
+bool
+ModeSwitchFlow::requestSwitch(Time now, HybridMode target)
+{
+    if (target == _mode || switching(now))
+        return false;
+    _mode = target;
+    _busyUntil = now + _params.totalLatency();
+    _totalOverhead += _params.totalLatency();
+    ++_switchCount;
+    return true;
+}
+
+Energy
+ModeSwitchFlow::totalOverheadEnergy() const
+{
+    return _params.flowPower * _totalOverhead;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,31 @@
+#include "flexwatts/pdn_factory.hh"
+
+#include "common/logging.hh"
+#include "flexwatts/flexwatts_pdn.hh"
+#include "pdn/imbvr_pdn.hh"
+#include "pdn/ivr_pdn.hh"
+#include "pdn/ldo_pdn.hh"
+#include "pdn/mbvr_pdn.hh"
+
+namespace pdnspot
+{
+
+std::unique_ptr<PdnModel>
+makePdn(PdnKind kind, PdnPlatformParams platform)
+{
+    switch (kind) {
+      case PdnKind::IVR:
+        return std::make_unique<IvrPdn>(platform);
+      case PdnKind::MBVR:
+        return std::make_unique<MbvrPdn>(platform);
+      case PdnKind::LDO:
+        return std::make_unique<LdoPdn>(platform);
+      case PdnKind::IplusMBVR:
+        return std::make_unique<ImbvrPdn>(platform);
+      case PdnKind::FlexWatts:
+        return std::make_unique<FlexWattsPdn>(platform);
+    }
+    panic("makePdn: invalid PdnKind");
+}
+
+} // namespace pdnspot

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Factory for the five PDN architectures the paper evaluates.
+ */
+
+#ifndef PDNSPOT_FLEXWATTS_PDN_FACTORY_HH
+#define PDNSPOT_FLEXWATTS_PDN_FACTORY_HH
+
+#include <memory>
+
+#include "pdn/pdn_model.hh"
+
+namespace pdnspot
+{
+
+/** Construct any of the five PDN topologies with default parameters. */
+std::unique_ptr<PdnModel> makePdn(PdnKind kind,
+                                  PdnPlatformParams platform = {});
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_FLEXWATTS_PDN_FACTORY_HH

@@ -1,0 +1,68 @@
+#include "pdn/ldo_pdn.hh"
+
+#include "pdn/rail_chains.hh"
+
+namespace pdnspot
+{
+
+namespace
+{
+
+constexpr std::array<DomainId, 1> saRailDomains = {DomainId::SA};
+constexpr std::array<DomainId, 1> ioRailDomains = {DomainId::IO};
+
+} // anonymous namespace
+
+LdoPdn::LdoPdn(PdnPlatformParams platform, LdoPdnParams params)
+    : PdnModel(platform),
+      _params(params),
+      _ldo(LdoParams{.name = "LDO"}),
+      _vrIn(BuckParams::motherboard("V_IN")),
+      _vrSa(BuckParams::motherboard("V_SA")),
+      _vrIo(BuckParams::motherboard("V_IO")),
+      _llIn(params.rllIn),
+      _llSa(params.rllSa),
+      _llIo(params.rllIo)
+{}
+
+EteeResult
+LdoPdn::evaluate(const PlatformState &state) const
+{
+    ChainContext ctx{_platform, _guardband};
+
+    ChainResult compute = evalLdoChain(ctx, state, computeDomains, _ldo,
+                                       _vrIn, _params.tob, _llIn);
+    ChainResult sa = evalSharedBoardRail(
+        ctx, state, saRailDomains, _vrSa, _params.tob, _llSa, true);
+    ChainResult io = evalSharedBoardRail(
+        ctx, state, ioRailDomains, _vrIo, _params.tob, _llIo, true);
+    ChainResult uncore = sa;
+    uncore.accumulate(io);
+
+    EteeResult r;
+    r.nominalPower = compute.nominalPower + uncore.nominalPower;
+    r.inputPower = compute.inputPower + uncore.inputPower;
+    r.loss.vrLoss = compute.vrLoss + uncore.vrLoss;
+    r.loss.conductionCompute = compute.conduction;
+    r.loss.conductionUncore = uncore.conduction;
+    r.loss.other = compute.guardExcess + uncore.guardExcess;
+    r.chipInputCurrent = compute.chipCurrent + uncore.chipCurrent;
+    r.computeLoadLine = _params.rllIn;
+    return r;
+}
+
+std::vector<OffChipRail>
+LdoPdn::offChipRails(const PlatformState &peak) const
+{
+    ChainContext ctx{_platform, _guardband};
+    return {
+        sizeLdoInputRail(ctx, peak, computeDomains, _ldo, "V_IN",
+                         _params.tob),
+        sizeSharedBoardRail(ctx, peak, saRailDomains, "V_SA",
+                            _params.tob, true),
+        sizeSharedBoardRail(ctx, peak, ioRailDomains, "V_IO",
+                            _params.tob, true),
+    };
+}
+
+} // namespace pdnspot

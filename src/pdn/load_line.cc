@@ -1,0 +1,45 @@
+#include "pdn/load_line.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+LoadLine::LoadLine(Resistance rll)
+    : _rll(rll)
+{
+    if (rll < ohms(0.0))
+        fatal("LoadLine: negative impedance");
+}
+
+LoadLine::Result
+LoadLine::apply(Voltage vd, Power pd, double ar) const
+{
+    if (vd <= volts(0.0))
+        fatal("LoadLine: non-positive rail voltage");
+    if (pd < watts(0.0))
+        fatal("LoadLine: negative rail power");
+    if (ar <= 0.0 || ar > 1.0)
+        fatal("LoadLine: AR must be in (0, 1]");
+
+    Result r;
+    if (pd == watts(0.0)) {
+        r.vLL = vd;
+        r.pLL = watts(0.0);
+        r.conductionExcess = watts(0.0);
+        return r;
+    }
+
+    // Eq. 3: VD_LL = VD + (Ppeak / VD) * RLL, with Ppeak = PD / AR.
+    Power ppeak = pd / ar;
+    Current ipeak = ppeak / vd;
+    r.vLL = vd + ipeak * _rll;
+
+    // Eq. 4: PD_LL = VD_LL * ID with ID = PD / VD.
+    Current id = pd / vd;
+    r.pLL = r.vLL * id;
+    r.conductionExcess = r.pLL - pd;
+    return r;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Load-line (adaptive voltage positioning) model, paper Eq. 3/4/7/8.
+ *
+ * The voltage at a load sags with current across the delivery-path
+ * impedance RLL. To keep the load above its minimum functional voltage
+ * even under the power-virus workload (AR = 1), the VR output setpoint
+ * is raised by the worst-case droop, computed at the peak power
+ * Ppeak = PD / AR. The raised setpoint costs proportionally more
+ * power: PD_LL = VD_LL * (PD / VD).
+ */
+
+#ifndef PDNSPOT_PDN_LOAD_LINE_HH
+#define PDNSPOT_PDN_LOAD_LINE_HH
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** One delivery path's load-line impedance and its guardband cost. */
+class LoadLine
+{
+  public:
+    explicit LoadLine(Resistance rll);
+
+    Resistance impedance() const { return _rll; }
+
+    /** Outcome of raising the VR setpoint for worst-case droop. */
+    struct Result
+    {
+        Voltage vLL;              ///< raised VR output voltage (Eq. 3)
+        Power pLL;                ///< power at the raised voltage (Eq. 4)
+        Power conductionExcess;   ///< pLL - pD, the I^2*R guardband cost
+    };
+
+    /**
+     * Apply Eq. 3/4 to a delivery group.
+     *
+     * @param vd group nominal rail voltage
+     * @param pd group power at vd
+     * @param ar group application ratio; Ppeak = pd / ar
+     */
+    Result apply(Voltage vd, Power pd, double ar) const;
+
+  private:
+    Resistance _rll;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PDN_LOAD_LINE_HH

@@ -1,0 +1,81 @@
+#include "pdn/mbvr_pdn.hh"
+
+#include "pdn/rail_chains.hh"
+
+namespace pdnspot
+{
+
+namespace
+{
+
+constexpr std::array<DomainId, 3> coresRailDomains = {
+    DomainId::Core0, DomainId::Core1, DomainId::LLC,
+};
+constexpr std::array<DomainId, 1> gfxRailDomains = {DomainId::GFX};
+constexpr std::array<DomainId, 1> saRailDomains = {DomainId::SA};
+constexpr std::array<DomainId, 1> ioRailDomains = {DomainId::IO};
+
+} // anonymous namespace
+
+MbvrPdn::MbvrPdn(PdnPlatformParams platform, MbvrParams params)
+    : PdnModel(platform),
+      _params(params),
+      _vrCores(BuckParams::motherboard("V_Cores")),
+      _vrGfx(BuckParams::motherboard("V_GFX")),
+      _vrSa(BuckParams::motherboard("V_SA")),
+      _vrIo(BuckParams::motherboard("V_IO")),
+      _llCores(params.rllCores),
+      _llGfx(params.rllGfx),
+      _llSa(params.rllSa),
+      _llIo(params.rllIo)
+{}
+
+EteeResult
+MbvrPdn::evaluate(const PlatformState &state) const
+{
+    ChainContext ctx{_platform, _guardband};
+
+    ChainResult cores = evalSharedBoardRail(
+        ctx, state, coresRailDomains, _vrCores, _params.tob, _llCores,
+        true);
+    ChainResult gfx = evalSharedBoardRail(
+        ctx, state, gfxRailDomains, _vrGfx, _params.tob, _llGfx, true);
+    ChainResult sa = evalSharedBoardRail(
+        ctx, state, saRailDomains, _vrSa, _params.tob, _llSa, true);
+    ChainResult io = evalSharedBoardRail(
+        ctx, state, ioRailDomains, _vrIo, _params.tob, _llIo, true);
+
+    EteeResult r;
+    ChainResult compute = cores;
+    compute.accumulate(gfx);
+    ChainResult uncore = sa;
+    uncore.accumulate(io);
+
+    r.nominalPower = compute.nominalPower + uncore.nominalPower;
+    r.inputPower = compute.inputPower + uncore.inputPower;
+    r.loss.vrLoss = compute.vrLoss + uncore.vrLoss;
+    r.loss.conductionCompute = compute.conduction;
+    r.loss.conductionUncore = uncore.conduction;
+    r.loss.other = compute.guardExcess + uncore.guardExcess;
+    r.chipInputCurrent = compute.chipCurrent + uncore.chipCurrent;
+    r.computeLoadLine = _params.rllCores;
+    return r;
+}
+
+std::vector<OffChipRail>
+MbvrPdn::offChipRails(const PlatformState &peak) const
+{
+    ChainContext ctx{_platform, _guardband};
+    return {
+        sizeSharedBoardRail(ctx, peak, coresRailDomains, "V_Cores",
+                            _params.tob, true),
+        sizeSharedBoardRail(ctx, peak, gfxRailDomains, "V_GFX",
+                            _params.tob, true),
+        sizeSharedBoardRail(ctx, peak, saRailDomains, "V_SA",
+                            _params.tob, true),
+        sizeSharedBoardRail(ctx, peak, ioRailDomains, "V_IO",
+                            _params.tob, true),
+    };
+}
+
+} // namespace pdnspot

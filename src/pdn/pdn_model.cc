@@ -1,0 +1,33 @@
+#include "pdn/pdn_model.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+std::string
+toString(PdnKind kind)
+{
+    switch (kind) {
+      case PdnKind::IVR:
+        return "IVR";
+      case PdnKind::MBVR:
+        return "MBVR";
+      case PdnKind::LDO:
+        return "LDO";
+      case PdnKind::IplusMBVR:
+        return "I+MBVR";
+      case PdnKind::FlexWatts:
+        return "FlexWatts";
+    }
+    panic("toString: invalid PdnKind");
+}
+
+PdnModel::PdnModel(PdnPlatformParams platform)
+    : _platform(platform), _guardband()
+{
+    if (_platform.supplyVoltage <= volts(0.0))
+        fatal("PdnModel: non-positive supply voltage");
+}
+
+} // namespace pdnspot

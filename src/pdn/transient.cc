@@ -1,0 +1,135 @@
+#include "pdn/transient.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+DecapStack
+DecapStack::forPdn(PdnKind kind)
+{
+    // Rationale (paper Sec. 2.3):
+    //  - IVR integrates the second stage on die: the loop inductance
+    //    to the load is tiny, but only MIM-cap-class decap fits on
+    //    die, so the die-level characteristic impedance is the worst.
+    //  - MBVR's VR sits far away (large board loop inductance), but
+    //    the long path leaves room for generous board/package decap.
+    //  - LDO sits between: on-die regulation with a shared low-voltage
+    //    input plane that carries some package decap.
+    //  - I+MBVR matches IVR on the compute rail.
+    //  - FlexWatts shares the IVR's decap stack across both modes
+    //    (Sec. 6: both modes share the package and die capacitors).
+    DecapStack s;
+    switch (kind) {
+      case PdnKind::IVR:
+      case PdnKind::IplusMBVR:
+      case PdnKind::FlexWatts:
+        s.die = {0.08, 0.010, milliohms(0.2)};
+        s.package = {18.0, 0.9, milliohms(0.35)};
+        s.board = {300.0, 10.0, milliohms(0.6)};
+        return s;
+      case PdnKind::LDO:
+        s.die = {0.14, 0.010, milliohms(0.25)};
+        s.package = {30.0, 0.8, milliohms(0.4)};
+        s.board = {500.0, 8.0, milliohms(0.8)};
+        return s;
+      case PdnKind::MBVR:
+        s.die = {0.25, 0.010, milliohms(0.3)};
+        s.package = {44.0, 0.7, milliohms(0.5)};
+        s.board = {900.0, 6.0, milliohms(1.2)};
+        return s;
+    }
+    panic("DecapStack::forPdn: invalid PdnKind");
+}
+
+Voltage
+DroopEstimate::worst() const
+{
+    return std::max({dieDroop, packageDroop, boardDroop}) + resistive;
+}
+
+TransientModel::TransientModel(DecapStack stack)
+    : _stack(stack)
+{
+    for (const DecapLevel *level :
+         {&_stack.die, &_stack.package, &_stack.board}) {
+        if (level->capacitanceUf <= 0.0 || level->inductanceNh <= 0.0)
+            fatal("TransientModel: non-positive decap parameters");
+    }
+}
+
+Voltage
+TransientModel::levelDroop(const DecapLevel &level, Current step,
+                           Time rise_time) const
+{
+    // Characteristic impedance of the level's LC tank.
+    double l_h = level.inductanceNh * 1e-9;
+    double c_f = level.capacitanceUf * 1e-6;
+    double z0 = std::sqrt(l_h / c_f);
+
+    // Edges slower than the tank's natural period let the level's
+    // capacitance recharge mid-edge; derate by tau / trise.
+    double tau = std::sqrt(l_h * c_f); // ~1/omega0
+    double derate = 1.0;
+    double trise = inSeconds(rise_time);
+    if (trise > tau && trise > 0.0)
+        derate = tau / trise;
+
+    return volts(inAmps(step) * z0 * derate);
+}
+
+DroopEstimate
+TransientModel::droop(Current step, Time rise_time) const
+{
+    if (step < amps(0.0))
+        fatal("TransientModel: negative current step");
+    if (rise_time <= seconds(0.0))
+        fatal("TransientModel: non-positive rise time");
+
+    DroopEstimate e;
+    e.dieDroop = levelDroop(_stack.die, step, rise_time);
+    e.packageDroop = levelDroop(_stack.package, step, rise_time);
+    e.boardDroop = levelDroop(_stack.board, step, rise_time);
+    Resistance r = _stack.die.pathResistance +
+                   _stack.package.pathResistance +
+                   _stack.board.pathResistance;
+    e.resistive = step * r;
+    return e;
+}
+
+bool
+TransientModel::withinGuardband(Current step, Time rise_time,
+                                Voltage guardband) const
+{
+    return droop(step, rise_time).worst() <= guardband;
+}
+
+Current
+TransientModel::maxStep(Voltage guardband, Time rise_time) const
+{
+    if (guardband <= volts(0.0))
+        fatal("TransientModel: non-positive guardband");
+
+    // The droop is linear in the step, so solve directly from a
+    // unit-step probe (bisection kept as a guard against future
+    // nonlinear terms).
+    Voltage unit = droop(amps(1.0), rise_time).worst();
+    if (unit <= volts(0.0))
+        panic("TransientModel: degenerate unit droop");
+    double guess = guardband / unit;
+
+    double lo = 0.0, hi = guess * 2.0 + 1.0;
+    for (int i = 0; i < 50; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (withinGuardband(amps(mid), rise_time, guardband))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return amps(lo);
+}
+
+} // namespace pdnspot

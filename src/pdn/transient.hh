@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Transient (di/dt) voltage-noise model.
+ *
+ * The paper's background (Sec. 2) notes that a PDN must provide the
+ * transient current a domain demands and that the IVR PDN is more
+ * sensitive to di/dt noise than the MBVR PDN because little decoupling
+ * capacitance fits on die, while MBVR's long delivery path leaves room
+ * for board, package and die capacitors. PDNspot's steady-state models
+ * assume voltage emergencies are absorbed by decap plus architectural
+ * techniques (Sec. 3.4); this module quantifies that assumption with
+ * the standard three-level droop estimate: at each hierarchy level
+ * (die, package, board) a load step dI across the level's loop
+ * inductance L and capacitance C rings with characteristic impedance
+ * sqrt(L/C), so
+ *
+ *   droop(level) = dI * sqrt(L_level / C_level) + dI * R_path
+ *
+ * and the first (die-level) droop dominates for fast edges. The model
+ * answers two questions per PDN: how big is the first droop for a
+ * given current step, and does it stay within the tolerance-band +
+ * load-line guardband the steady-state model budgeted.
+ */
+
+#ifndef PDNSPOT_PDN_TRANSIENT_HH
+#define PDNSPOT_PDN_TRANSIENT_HH
+
+#include <array>
+
+#include "common/units.hh"
+#include "pdn/pdn_model.hh"
+
+namespace pdnspot
+{
+
+/** Decoupling and parasitics of one hierarchy level. */
+struct DecapLevel
+{
+    double capacitanceUf = 0.0;   ///< decoupling capacitance (uF)
+    double inductanceNh = 0.0;    ///< loop inductance to the load (nH)
+    Resistance pathResistance;    ///< series resistance of the level
+};
+
+/** Die / package / board decap stack of one PDN's compute rail. */
+struct DecapStack
+{
+    DecapLevel die;
+    DecapLevel package;
+    DecapLevel board;
+
+    /** Representative stacks for each topology (see .cc rationale). */
+    static DecapStack forPdn(PdnKind kind);
+};
+
+/** Per-level droop contributions for one load step. */
+struct DroopEstimate
+{
+    Voltage dieDroop;     ///< first droop (fastest, usually largest)
+    Voltage packageDroop; ///< second droop
+    Voltage boardDroop;   ///< third droop
+    Voltage resistive;    ///< IR drop across the path
+
+    /** Worst single droop plus the resistive floor. */
+    Voltage worst() const;
+};
+
+/** Transient droop estimator for one PDN compute rail. */
+class TransientModel
+{
+  public:
+    explicit TransientModel(DecapStack stack);
+
+    const DecapStack &stack() const { return _stack; }
+
+    /**
+     * Droop estimate for a load current step.
+     *
+     * @param step magnitude of the current step
+     * @param rise_time edge rate; slower edges let deeper levels
+     *        share the charge and shrink the die-level droop
+     */
+    DroopEstimate droop(Current step, Time rise_time) const;
+
+    /**
+     * True if the worst droop stays within the voltage guardband the
+     * steady-state model budgeted (TOB + load-line compensation).
+     */
+    bool withinGuardband(Current step, Time rise_time,
+                         Voltage guardband) const;
+
+    /**
+     * The largest current step the rail absorbs within a guardband
+     * at a given edge rate (bisection; exposed for sizing studies).
+     */
+    Current maxStep(Voltage guardband, Time rise_time) const;
+
+  private:
+    /** Single-level droop: dI * sqrt(L/C), derated by the edge. */
+    Voltage levelDroop(const DecapLevel &level, Current step,
+                       Time rise_time) const;
+
+    DecapStack _stack;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PDN_TRANSIENT_HH

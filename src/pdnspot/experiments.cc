@@ -1,0 +1,86 @@
+#include "pdnspot/experiments.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+Power
+batteryAveragePower(const Platform &platform, PdnKind kind,
+                    const BatteryProfile &profile)
+{
+    if (!profile.valid())
+        fatal("batteryAveragePower: invalid residency profile");
+
+    const PdnModel &pdn = platform.pdn(kind);
+    const OperatingPointModel &opm = platform.operatingPoints();
+
+    Power avg;
+    for (const auto &[state, share] : profile.residencies) {
+        OperatingPointModel::Query q;
+        q.tdp = watts(15.0); // battery power is TDP-independent
+        q.cstate = state;
+        if (state == PackageCState::C0)
+            fatal("batteryAveragePower: profiles use C0MIN, not C0");
+        avg += pdn.evaluate(opm.build(q)).inputPower * share;
+    }
+    return avg;
+}
+
+std::vector<double>
+suiteRelativePerf(const Platform &platform, PdnKind kind, Power tdp,
+                  const std::vector<Workload> &suite)
+{
+    const PdnModel &pdn = platform.pdn(kind);
+    const PdnModel &baseline = platform.pdn(PdnKind::IVR);
+    const PerfModel &perf = platform.perfModel();
+
+    std::vector<double> rel;
+    rel.reserve(suite.size());
+    for (const Workload &w : suite) {
+        rel.push_back(
+            perf.relativePerformance(pdn, baseline, tdp, w)
+                .relativePerf);
+    }
+    return rel;
+}
+
+double
+suiteMeanRelativePerf(const Platform &platform, PdnKind kind, Power tdp,
+                      const std::vector<Workload> &suite)
+{
+    if (suite.empty())
+        fatal("suiteMeanRelativePerf: empty suite");
+    double sum = 0.0;
+    for (double r : suiteRelativePerf(platform, kind, tdp, suite))
+        sum += r;
+    return sum / static_cast<double>(suite.size());
+}
+
+double
+normalizedBom(const Platform &platform, PdnKind kind, Power tdp)
+{
+    double base = platform.costs()
+                      .evaluate(platform.pdn(PdnKind::IVR), tdp)
+                      .bomCostUsd;
+    double cand =
+        platform.costs().evaluate(platform.pdn(kind), tdp).bomCostUsd;
+    if (base <= 0.0)
+        panic("normalizedBom: non-positive baseline cost");
+    return cand / base;
+}
+
+double
+normalizedArea(const Platform &platform, PdnKind kind, Power tdp)
+{
+    Area base = platform.costs()
+                    .evaluate(platform.pdn(PdnKind::IVR), tdp)
+                    .boardArea;
+    Area cand =
+        platform.costs().evaluate(platform.pdn(kind), tdp).boardArea;
+    if (base <= Area())
+        panic("normalizedArea: non-positive baseline area");
+    return cand / base;
+}
+
+} // namespace pdnspot

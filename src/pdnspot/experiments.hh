@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Canned experiment computations behind the paper's tables/figures.
+ *
+ * Shared by the bench binaries and the integration tests so the
+ * numbers reported and the numbers asserted are the same code path.
+ */
+
+#ifndef PDNSPOT_PDNSPOT_EXPERIMENTS_HH
+#define PDNSPOT_PDNSPOT_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "pdnspot/platform.hh"
+#include "workload/battery_profiles.hh"
+#include "workload/workload.hh"
+
+namespace pdnspot
+{
+
+/** The seven TDP points of the paper's evaluation. */
+inline constexpr std::array<double, 7> evaluationTdpsW = {
+    4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0,
+};
+
+/**
+ * Average power of a battery-life workload on one PDN (Fig. 8c):
+ * sum over the profile's states of nominal power / state ETEE,
+ * weighted by residency. TDP-independent by construction.
+ */
+Power batteryAveragePower(const Platform &platform, PdnKind kind,
+                          const BatteryProfile &profile);
+
+/**
+ * Mean relative performance over a suite (Figs. 7/8a/8b): each
+ * workload's performance on `kind` divided by its performance on the
+ * IVR baseline, averaged arithmetically as the paper does.
+ */
+double suiteMeanRelativePerf(const Platform &platform, PdnKind kind,
+                             Power tdp,
+                             const std::vector<Workload> &suite);
+
+/** Per-benchmark relative performance for Fig. 7's bars. */
+std::vector<double> suiteRelativePerf(const Platform &platform,
+                                      PdnKind kind, Power tdp,
+                                      const std::vector<Workload> &suite);
+
+/** Normalized (to IVR) BOM cost of one PDN at one TDP (Fig. 8d). */
+double normalizedBom(const Platform &platform, PdnKind kind, Power tdp);
+
+/** Normalized (to IVR) board area of one PDN at one TDP (Fig. 8e). */
+double normalizedArea(const Platform &platform, PdnKind kind,
+                      Power tdp);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PDNSPOT_EXPERIMENTS_HH

@@ -1,0 +1,158 @@
+#include "pdnspot/sweep.hh"
+
+#include "common/logging.hh"
+#include "pdnspot/experiments.hh"
+
+namespace pdnspot
+{
+
+void
+SweepResult::writeCsv(std::ostream &os) const
+{
+    os << xLabel;
+    for (const SweepSeries &s : series)
+        os << "," << s.label;
+    os << "\n";
+    if (series.empty())
+        return;
+    size_t n = series.front().points.size();
+    for (const SweepSeries &s : series) {
+        if (s.points.size() != n)
+            panic("SweepResult: ragged series");
+    }
+    for (size_t i = 0; i < n; ++i) {
+        os << series.front().points[i].first;
+        for (const SweepSeries &s : series)
+            os << "," << s.points[i].second;
+        os << "\n";
+    }
+}
+
+SweepEngine::SweepEngine(const Platform &platform)
+    : _platform(platform)
+{}
+
+double
+SweepEngine::eteeAt(PdnKind kind, Power tdp, WorkloadType type,
+                    double ar, PackageCState cstate) const
+{
+    OperatingPointModel::Query q;
+    q.tdp = tdp;
+    q.type = type;
+    q.ar = ar;
+    q.cstate = cstate;
+    return _platform.pdn(kind)
+        .evaluate(_platform.operatingPoints().build(q))
+        .etee();
+}
+
+SweepResult
+SweepEngine::eteeVsAr(Power tdp, WorkloadType type,
+                      const std::vector<double> &ars,
+                      const std::vector<PdnKind> &kinds) const
+{
+    if (ars.empty() || kinds.empty())
+        fatal("SweepEngine: empty sweep requested");
+    SweepResult r;
+    r.xLabel = "AR";
+    r.yLabel = "ETEE";
+    for (PdnKind kind : kinds) {
+        SweepSeries s;
+        s.label = toString(kind);
+        for (double ar : ars) {
+            s.points.emplace_back(
+                ar, eteeAt(kind, tdp, type, ar, PackageCState::C0));
+        }
+        r.series.push_back(std::move(s));
+    }
+    return r;
+}
+
+SweepResult
+SweepEngine::eteeVsTdp(WorkloadType type, double ar,
+                       const std::vector<double> &tdps_w,
+                       const std::vector<PdnKind> &kinds) const
+{
+    if (tdps_w.empty() || kinds.empty())
+        fatal("SweepEngine: empty sweep requested");
+    SweepResult r;
+    r.xLabel = "TDP_W";
+    r.yLabel = "ETEE";
+    for (PdnKind kind : kinds) {
+        SweepSeries s;
+        s.label = toString(kind);
+        for (double tdp : tdps_w) {
+            s.points.emplace_back(tdp, eteeAt(kind, watts(tdp), type,
+                                              ar, PackageCState::C0));
+        }
+        r.series.push_back(std::move(s));
+    }
+    return r;
+}
+
+SweepResult
+SweepEngine::eteeVsCState(const std::vector<PdnKind> &kinds) const
+{
+    if (kinds.empty())
+        fatal("SweepEngine: empty sweep requested");
+    SweepResult r;
+    r.xLabel = "cstate_index";
+    r.yLabel = "ETEE";
+    for (PdnKind kind : kinds) {
+        SweepSeries s;
+        s.label = toString(kind);
+        double idx = 0.0;
+        for (PackageCState cs : batteryLifeCStates) {
+            s.points.emplace_back(
+                idx, eteeAt(kind, watts(15.0),
+                            WorkloadType::BatteryLife, 0.3, cs));
+            idx += 1.0;
+        }
+        r.series.push_back(std::move(s));
+    }
+    return r;
+}
+
+SweepResult
+SweepEngine::bomVsTdp(const std::vector<double> &tdps_w,
+                      const std::vector<PdnKind> &kinds) const
+{
+    if (tdps_w.empty() || kinds.empty())
+        fatal("SweepEngine: empty sweep requested");
+    SweepResult r;
+    r.xLabel = "TDP_W";
+    r.yLabel = "BOM_vs_IVR";
+    for (PdnKind kind : kinds) {
+        SweepSeries s;
+        s.label = toString(kind);
+        for (double tdp : tdps_w) {
+            s.points.emplace_back(
+                tdp, normalizedBom(_platform, kind, watts(tdp)));
+        }
+        r.series.push_back(std::move(s));
+    }
+    return r;
+}
+
+SweepResult
+SweepEngine::areaVsTdp(const std::vector<double> &tdps_w,
+                       const std::vector<PdnKind> &kinds) const
+{
+    if (tdps_w.empty() || kinds.empty())
+        fatal("SweepEngine: empty sweep requested");
+    SweepResult r;
+    r.xLabel = "TDP_W";
+    r.yLabel = "area_vs_IVR";
+    for (PdnKind kind : kinds) {
+        SweepSeries s;
+        s.label = toString(kind);
+        for (double tdp : tdps_w) {
+            s.points.emplace_back(
+                tdp, normalizedArea(_platform, kind, watts(tdp)));
+        }
+        r.series.push_back(std::move(s));
+    }
+    return r;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sweep engine: the "multi-dimensional architecture-space exploration"
+ * surface of PDNspot (paper Sec. 3).
+ *
+ * Produces named series of ETEE (or any per-PDN metric) against a
+ * swept axis (AR, TDP, or package power state) for any subset of the
+ * PDN architectures, and exports them as CSV for plotting. The bench
+ * binaries print tables; this API is for downstream users who want
+ * the raw series.
+ */
+
+#ifndef PDNSPOT_PDNSPOT_SWEEP_HH
+#define PDNSPOT_PDNSPOT_SWEEP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pdnspot/platform.hh"
+
+namespace pdnspot
+{
+
+/** One swept curve: a label and (x, y) points. */
+struct SweepSeries
+{
+    std::string label;
+    std::vector<std::pair<double, double>> points;
+};
+
+/** A set of curves sharing an x axis. */
+struct SweepResult
+{
+    std::string xLabel;
+    std::string yLabel;
+    std::vector<SweepSeries> series;
+
+    /** Emit as CSV: x, series-1, series-2, ... */
+    void writeCsv(std::ostream &os) const;
+};
+
+/** Sweeps platform operating points across the PDN architectures. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(const Platform &platform);
+
+    /** ETEE vs AR at fixed (TDP, workload type) — a Fig. 4 panel. */
+    SweepResult eteeVsAr(Power tdp, WorkloadType type,
+                         const std::vector<double> &ars,
+                         const std::vector<PdnKind> &kinds) const;
+
+    /** ETEE vs TDP at fixed (type, AR) — the crossover view. */
+    SweepResult eteeVsTdp(WorkloadType type, double ar,
+                          const std::vector<double> &tdps_w,
+                          const std::vector<PdnKind> &kinds) const;
+
+    /** ETEE per battery-life power state — Fig. 4(j). */
+    SweepResult eteeVsCState(const std::vector<PdnKind> &kinds) const;
+
+    /** Normalized BOM (y) vs TDP (x) — Fig. 8(d). */
+    SweepResult bomVsTdp(const std::vector<double> &tdps_w,
+                         const std::vector<PdnKind> &kinds) const;
+
+    /** Normalized board area vs TDP — Fig. 8(e). */
+    SweepResult areaVsTdp(const std::vector<double> &tdps_w,
+                          const std::vector<PdnKind> &kinds) const;
+
+  private:
+    double eteeAt(PdnKind kind, Power tdp, WorkloadType type,
+                  double ar, PackageCState cstate) const;
+
+    const Platform &_platform;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PDNSPOT_SWEEP_HH

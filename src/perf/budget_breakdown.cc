@@ -1,0 +1,51 @@
+#include "perf/budget_breakdown.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+BudgetShares
+budgetBreakdown(const OperatingPointModel &opm,
+                std::span<const PdnModel *const> pdns, Power tdp,
+                WorkloadType type)
+{
+    if (pdns.empty())
+        fatal("budgetBreakdown: at least one PDN required");
+
+    OperatingPointModel::Query q;
+    q.tdp = tdp;
+    q.type = type;
+    PlatformState s = opm.build(q);
+
+    const PdnModel *worst = nullptr;
+    EteeResult worst_result;
+    for (const PdnModel *pdn : pdns) {
+        EteeResult r = pdn->evaluate(s);
+        if (!worst ||
+            r.loss.total() / r.inputPower >
+                worst_result.loss.total() / worst_result.inputPower) {
+            worst = pdn;
+            worst_result = r;
+        }
+    }
+
+    Power input = worst_result.inputPower;
+    BudgetShares shares;
+    shares.worstPdn = worst->name();
+    shares.pdnLoss = worst_result.loss.total() / input;
+
+    auto nominal = [&](DomainId id) {
+        const DomainState &d = s.domain(id);
+        return d.active ? d.nominalPower : Power();
+    };
+    shares.saIo =
+        (nominal(DomainId::SA) + nominal(DomainId::IO)) / input;
+    shares.cpu =
+        (nominal(DomainId::Core0) + nominal(DomainId::Core1)) / input;
+    shares.llc = nominal(DomainId::LLC) / input;
+    shares.gfx = nominal(DomainId::GFX) / input;
+    return shares;
+}
+
+} // namespace pdnspot

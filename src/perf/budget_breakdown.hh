@@ -1,0 +1,46 @@
+/**
+ * @file
+ * TDP power-budget breakdown (paper Fig. 2b).
+ *
+ * For a CPU-intensive workload, shows what share of the platform's
+ * total power budget goes to SA+IO, the CPU cores, the LLC, and PDN
+ * conversion losses. The paper uses, at each TDP, whichever
+ * commonly-used PDN maximizes the loss, to illustrate the worst case.
+ */
+
+#ifndef PDNSPOT_PERF_BUDGET_BREAKDOWN_HH
+#define PDNSPOT_PERF_BUDGET_BREAKDOWN_HH
+
+#include <span>
+#include <string>
+
+#include "common/units.hh"
+#include "pdn/pdn_model.hh"
+#include "power/operating_point.hh"
+
+namespace pdnspot
+{
+
+/** Shares of the total supply power, summing to ~1. */
+struct BudgetShares
+{
+    double saIo = 0.0;
+    double cpu = 0.0;
+    double llc = 0.0;
+    double gfx = 0.0;
+    double pdnLoss = 0.0;
+    std::string worstPdn; ///< which PDN maximized the loss
+};
+
+/**
+ * Fig. 2b row: evaluate `pdns` at (tdp, type), pick the PDN with the
+ * largest conversion loss, and break its supply power down by
+ * destination.
+ */
+BudgetShares budgetBreakdown(const OperatingPointModel &opm,
+                             std::span<const PdnModel *const> pdns,
+                             Power tdp, WorkloadType type);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PERF_BUDGET_BREAKDOWN_HH

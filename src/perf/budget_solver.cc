@@ -1,0 +1,65 @@
+#include "perf/budget_solver.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+BudgetSolver::BudgetSolver(const OperatingPointModel &opm)
+    : _opm(opm)
+{}
+
+Power
+BudgetSolver::inputPowerAt(const PdnModel &pdn, Power tdp,
+                           const Workload &w, double multiplier) const
+{
+    OperatingPointModel::Query q;
+    q.tdp = tdp;
+    q.type = w.type;
+    q.ar = w.ar;
+    q.freqMultiplier = multiplier;
+    return pdn.evaluate(_opm.build(q)).inputPower;
+}
+
+BudgetSolver::Solution
+BudgetSolver::solve(const PdnModel &pdn, Power tdp,
+                    const Workload &w) const
+{
+    // Supply power grows monotonically with the clock multiplier until
+    // the V-f curve clamps at Fmax, after which it is flat; bisect on
+    // the multiplier.
+    const bool graphics = w.type == WorkloadType::Graphics;
+    const VfCurve &vf = graphics ? _opm.gfxVf() : _opm.coreVf();
+    Frequency fbase = graphics ? _opm.gfxBaseFrequency(tdp)
+                               : _opm.coreBaseFrequency(tdp);
+
+    double lo = 0.25;
+    double hi = (vf.fmax() / fbase) * 1.0001; // just past the clamp
+
+    if (inputPowerAt(pdn, tdp, w, lo) > tdp) {
+        fatal(strprintf("BudgetSolver: %s cannot fit %.1fW TDP even at "
+                        "a quarter of the baseline clock",
+                        pdn.name().c_str(), inWatts(tdp)));
+    }
+
+    Solution sol;
+    if (inputPowerAt(pdn, tdp, w, hi) <= tdp) {
+        // Even Fmax fits: the platform is V-f limited, not PDN limited.
+        sol.freqMultiplier = hi;
+        sol.clampedAtFmax = true;
+    } else {
+        for (int iter = 0; iter < 60; ++iter) {
+            double mid = 0.5 * (lo + hi);
+            if (inputPowerAt(pdn, tdp, w, mid) <= tdp)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        sol.freqMultiplier = lo;
+    }
+    sol.frequency = vf.clamp(fbase * sol.freqMultiplier);
+    sol.inputPower = inputPowerAt(pdn, tdp, w, sol.freqMultiplier);
+    return sol;
+}
+
+} // namespace pdnspot

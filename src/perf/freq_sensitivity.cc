@@ -1,0 +1,87 @@
+#include "perf/freq_sensitivity.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+FreqSensitivity::FreqSensitivity(const OperatingPointModel &opm)
+    : _opm(opm)
+{}
+
+Power
+FreqSensitivity::clockedDomainSlope(const DomainState &d,
+                                    const VfCurve &vf) const
+{
+    if (!d.active || d.frequency <= hertz(0.0))
+        return Power();
+    double f_ghz = inGigahertz(d.frequency);
+    double v = inVolts(d.voltage);
+    double dv_df = vf.slopeAt(d.frequency); // volts per GHz
+
+    Power pdyn = d.nominalPower * (1.0 - d.leakageFraction);
+    Power pleak = d.nominalPower * d.leakageFraction;
+    double delta = _opm.leakage().voltageExponent();
+
+    // Slope in watts per GHz.
+    Power slope = pdyn * (1.0 / f_ghz + 2.0 * dv_df / v) +
+                  pleak * (delta * dv_df / v);
+    // Watts per 1% of the current frequency.
+    return slope * (f_ghz / 100.0);
+}
+
+Power
+FreqSensitivity::voltageTrackingSlope(const DomainState &d,
+                                      const VfCurve &vf,
+                                      Frequency fclk) const
+{
+    if (!d.active)
+        return Power();
+    double v = inVolts(d.voltage);
+    double dv_df = vf.slopeAt(fclk);
+    double f_ghz = inGigahertz(fclk);
+    double delta = _opm.leakage().voltageExponent();
+
+    Power pdyn = d.nominalPower * (1.0 - d.leakageFraction);
+    Power pleak = d.nominalPower * d.leakageFraction;
+    Power slope = pdyn * (2.0 * dv_df / v) + pleak * (delta * dv_df / v);
+    return slope * (f_ghz / 100.0);
+}
+
+Power
+FreqSensitivity::nominalPerPercent(Power tdp, WorkloadType type) const
+{
+    OperatingPointModel::Query q;
+    q.tdp = tdp;
+    q.type = type;
+    PlatformState s = _opm.build(q);
+
+    if (type == WorkloadType::Graphics) {
+        return clockedDomainSlope(s.domain(DomainId::GFX),
+                                  _opm.gfxVf());
+    }
+
+    // Cores only: the LLC/ring clock is managed independently of the
+    // core P-state, so a core-clock step does not move the LLC rail.
+    // This reproduces the paper's ~9 mW-per-1% anchor at 4 W TDP.
+    return clockedDomainSlope(s.domain(DomainId::Core0),
+                              _opm.coreVf()) +
+           clockedDomainSlope(s.domain(DomainId::Core1),
+                              _opm.coreVf());
+}
+
+Power
+FreqSensitivity::supplyPerPercent(Power tdp, WorkloadType type,
+                                  const PdnModel &pdn) const
+{
+    OperatingPointModel::Query q;
+    q.tdp = tdp;
+    q.type = type;
+    PlatformState s = _opm.build(q);
+    double etee = pdn.evaluate(s).etee();
+    if (etee <= 0.0)
+        panic("FreqSensitivity: non-positive ETEE");
+    return nominalPerPercent(tdp, type) / etee;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Marginal-power-per-frequency model (paper Fig. 2a).
+ *
+ * The paper builds power-frequency curves empirically by sweeping the
+ * compute clock in 100 MHz (50 MHz for GFX) steps and logging the
+ * power increase (Sec. 3.3). This model differentiates the same
+ * physical relationship analytically at the operating point:
+ *
+ *   dP/df = Pdyn * (1/f + 2 * (dV/df)/V) + Pleak * delta * (dV/df)/V
+ *
+ * Dynamic power contributes the f and V^2 terms; leakage contributes
+ * through its V^delta voltage dependence. For CPU workloads the LLC
+ * shares the core voltage plane, so its voltage-scaling term is
+ * included even though its clock is not the core clock.
+ */
+
+#ifndef PDNSPOT_PERF_FREQ_SENSITIVITY_HH
+#define PDNSPOT_PERF_FREQ_SENSITIVITY_HH
+
+#include "common/units.hh"
+#include "pdn/pdn_model.hh"
+#include "power/operating_point.hh"
+
+namespace pdnspot
+{
+
+/** Power cost of raising the compute clock, per TDP and workload. */
+class FreqSensitivity
+{
+  public:
+    explicit FreqSensitivity(const OperatingPointModel &opm);
+
+    /**
+     * Additional load-level (nominal) power to raise the compute
+     * clock by 1% at this TDP's baseline frequency (Fig. 2a y-axis,
+     * before PDN losses).
+     */
+    Power nominalPerPercent(Power tdp, WorkloadType type) const;
+
+    /**
+     * Additional supply-level power for the same 1%: the nominal cost
+     * divided by the PDN's ETEE at the operating point.
+     */
+    Power supplyPerPercent(Power tdp, WorkloadType type,
+                           const PdnModel &pdn) const;
+
+  private:
+    /** dP/df contribution of one domain whose clock scales. */
+    Power clockedDomainSlope(const DomainState &d,
+                             const VfCurve &vf) const;
+
+    /** dP/df contribution of a domain that only tracks the voltage. */
+    Power voltageTrackingSlope(const DomainState &d, const VfCurve &vf,
+                               Frequency fclk) const;
+
+    const OperatingPointModel &_opm;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PERF_FREQ_SENSITIVITY_HH

@@ -1,0 +1,41 @@
+#include "perf/perf_model.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+PerfModel::PerfModel(const OperatingPointModel &opm)
+    : _opm(opm), _sensitivity(opm)
+{}
+
+PerfResult
+PerfModel::relativePerformance(const PdnModel &pdn,
+                               const PdnModel &baseline, Power tdp,
+                               const Workload &w) const
+{
+    OperatingPointModel::Query q;
+    q.tdp = tdp;
+    q.type = w.type;
+    q.ar = w.ar;
+    PlatformState s = _opm.build(q);
+
+    EteeResult base = baseline.evaluate(s);
+    EteeResult cand = pdn.evaluate(s);
+
+    PerfResult r;
+    r.eteeBaseline = base.etee();
+    r.eteePdn = cand.etee();
+    r.savedSupplyPower = base.inputPower - cand.inputPower;
+
+    Power per_percent =
+        _sensitivity.supplyPerPercent(tdp, w.type, baseline);
+    if (per_percent <= watts(0.0))
+        panic("PerfModel: non-positive frequency sensitivity");
+
+    r.freqGainPercent = r.savedSupplyPower / per_percent;
+    r.relativePerf = 1.0 + w.scalability * r.freqGainPercent / 100.0;
+    return r;
+}
+
+} // namespace pdnspot

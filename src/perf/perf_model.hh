@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The paper's performance model (Sec. 3.3, Figs. 7 and 8a/8b).
+ *
+ * A PDN with a higher end-to-end efficiency leaves supply power on
+ * the table at the same TDP; the power-budget manager reallocates the
+ * savings to the compute clock. The paper linearizes at the TDP
+ * baseline: a PDN that saves dP watts of supply power buys
+ * dP / sensitivity percent of extra clock (e.g. 250 mW / 9 mW-per-1%
+ * = 28% at 4 W), and a workload converts clock into performance
+ * through its performance-scalability.
+ */
+
+#ifndef PDNSPOT_PERF_PERF_MODEL_HH
+#define PDNSPOT_PERF_PERF_MODEL_HH
+
+#include "common/units.hh"
+#include "pdn/pdn_model.hh"
+#include "perf/freq_sensitivity.hh"
+#include "power/operating_point.hh"
+#include "workload/workload.hh"
+
+namespace pdnspot
+{
+
+/** Outcome of comparing one PDN against a baseline PDN. */
+struct PerfResult
+{
+    double relativePerf = 1.0;    ///< 1.0 == baseline performance
+    double freqGainPercent = 0.0; ///< extra clock the savings buy
+    Power savedSupplyPower;       ///< baseline input - PDN input
+    double eteePdn = 0.0;
+    double eteeBaseline = 0.0;
+};
+
+/** The linearized budget-reallocation performance model. */
+class PerfModel
+{
+  public:
+    explicit PerfModel(const OperatingPointModel &opm);
+
+    /**
+     * Performance of `pdn` relative to `baseline` when running
+     * workload `w` on a `tdp` platform.
+     */
+    PerfResult relativePerformance(const PdnModel &pdn,
+                                   const PdnModel &baseline, Power tdp,
+                                   const Workload &w) const;
+
+    const FreqSensitivity &sensitivity() const { return _sensitivity; }
+
+  private:
+    const OperatingPointModel &_opm;
+    FreqSensitivity _sensitivity;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PERF_PERF_MODEL_HH

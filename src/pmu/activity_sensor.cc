@@ -1,0 +1,39 @@
+#include "pmu/activity_sensor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+ActivitySensor::ActivitySensor(uint64_t seed, double alpha,
+                               double noise_amplitude)
+    : _noise(seed), _alpha(alpha), _noiseAmplitude(noise_amplitude)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("ActivitySensor: alpha must be in (0, 1]");
+    if (noise_amplitude < 0.0 || noise_amplitude >= 0.5)
+        fatal("ActivitySensor: noise amplitude must be in [0, 0.5)");
+}
+
+void
+ActivitySensor::observe(double true_ar)
+{
+    if (true_ar <= 0.0 || true_ar > 1.0)
+        fatal("ActivitySensor: AR sample outside (0, 1]");
+    double proxy =
+        true_ar + _noiseAmplitude * _noise.signedUnit(_samples);
+    proxy = std::clamp(proxy, 0.01, 1.0);
+    _estimate = _alpha * proxy + (1.0 - _alpha) * _estimate;
+    _estimate = std::clamp(_estimate, 0.01, 1.0);
+    ++_samples;
+}
+
+void
+ActivitySensor::reset(double value)
+{
+    _estimate = std::clamp(value, 0.01, 1.0);
+}
+
+} // namespace pdnspot

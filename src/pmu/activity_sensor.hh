@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Activity-sensor AR estimation (paper Sec. 6, "Runtime Estimation").
+ *
+ * Modern client processors embed activity sensors in each domain:
+ * weighted sums of internal events (active execution ports, memory
+ * stalls, vector-instruction widths) are sent to the PMU every
+ * millisecond as a calibrated proxy of the application ratio. This
+ * model abstracts the event plumbing into a per-sample proxy reading
+ * (the true AR plus bounded sensor error) and the PMU-side
+ * exponentially-weighted filter that smooths it.
+ */
+
+#ifndef PDNSPOT_PMU_ACTIVITY_SENSOR_HH
+#define PDNSPOT_PMU_ACTIVITY_SENSOR_HH
+
+#include <cstdint>
+
+#include "common/noise.hh"
+
+namespace pdnspot
+{
+
+/** Millisecond-granularity AR proxy with EWMA smoothing. */
+class ActivitySensor
+{
+  public:
+    /**
+     * @param seed deterministic sensor-noise seed
+     * @param alpha EWMA weight of the newest sample
+     * @param noise_amplitude bound of the per-sample proxy error
+     */
+    explicit ActivitySensor(uint64_t seed, double alpha = 0.25,
+                            double noise_amplitude = 0.04);
+
+    /** Ingest one sample of the true AR (one sensor period). */
+    void observe(double true_ar);
+
+    /** Current filtered AR estimate, clamped to (0, 1]. */
+    double estimate() const { return _estimate; }
+
+    /** Reset the filter (e.g. on power-state exit). */
+    void reset(double value);
+
+    uint64_t samples() const { return _samples; }
+
+  private:
+    HashNoise _noise;
+    double _alpha;
+    double _noiseAmplitude;
+    double _estimate = 0.5;
+    uint64_t _samples = 0;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PMU_ACTIVITY_SENSOR_HH

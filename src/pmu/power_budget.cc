@@ -1,0 +1,44 @@
+#include "pmu/power_budget.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+PowerBudgetManager::PowerBudgetManager(Power tdp, Time window,
+                                       double max_multiplier)
+    : _tdp(tdp), _window(window), _maxMultiplier(max_multiplier),
+      _average(tdp)
+{
+    if (tdp <= watts(0.0))
+        fatal("PowerBudgetManager: non-positive TDP");
+    if (window <= seconds(0.0))
+        fatal("PowerBudgetManager: non-positive window");
+    if (max_multiplier < 1.0)
+        fatal("PowerBudgetManager: Turbo ceiling below 1.0");
+}
+
+void
+PowerBudgetManager::observe(Power supply_power, Time interval)
+{
+    if (interval <= seconds(0.0))
+        fatal("PowerBudgetManager: non-positive interval");
+    double alpha = 1.0 - std::exp(-(interval / _window));
+    _average = _average + (supply_power - _average) * alpha;
+
+    // Proportional control: scale the clock by the remaining headroom.
+    double headroom = _tdp / _average;
+    _multiplier = std::clamp(_multiplier * std::pow(headroom, 0.25),
+                             0.25, _maxMultiplier);
+}
+
+double
+PowerBudgetManager::recommendedMultiplier() const
+{
+    return _multiplier;
+}
+
+} // namespace pdnspot

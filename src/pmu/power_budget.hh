@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RAPL-style power-budget manager.
+ *
+ * Modern PMUs keep the running-average platform power within the
+ * configured TDP by adjusting the compute clock (paper Sec. 3.4
+ * assumption; cf. RAPL, David et al., ISLPED 2010). This manager
+ * tracks an exponentially-weighted average of the supply power and
+ * recommends a multiplicative clock adjustment: throttle when over
+ * budget, release (up to a ceiling) when under.
+ */
+
+#ifndef PDNSPOT_PMU_POWER_BUDGET_HH
+#define PDNSPOT_PMU_POWER_BUDGET_HH
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** Closed-loop TDP governor. */
+class PowerBudgetManager
+{
+  public:
+    /**
+     * @param tdp the budget the average power must respect
+     * @param window EWMA time constant of the power average
+     * @param max_multiplier Turbo ceiling on the clock adjustment
+     */
+    PowerBudgetManager(Power tdp, Time window = milliseconds(28.0),
+                       double max_multiplier = 2.0);
+
+    /** Ingest one interval's measured supply power. */
+    void observe(Power supply_power, Time interval);
+
+    /** Smoothed supply power. */
+    Power averagePower() const { return _average; }
+
+    /**
+     * Recommended clock multiplier relative to the TDP baseline:
+     * proportional control toward average == TDP.
+     */
+    double recommendedMultiplier() const;
+
+    Power tdp() const { return _tdp; }
+
+  private:
+    Power _tdp;
+    Time _window;
+    double _maxMultiplier;
+    Power _average;
+    double _multiplier = 1.0;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PMU_POWER_BUDGET_HH

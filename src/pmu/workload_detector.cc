@@ -1,0 +1,30 @@
+#include "pmu/workload_detector.hh"
+
+namespace pdnspot
+{
+
+WorkloadType
+detectWorkloadType(bool gfx_active, int active_cores)
+{
+    if (gfx_active)
+        return WorkloadType::Graphics;
+    if (active_cores > 1)
+        return WorkloadType::MultiThread;
+    if (active_cores == 1)
+        return WorkloadType::SingleThread;
+    return WorkloadType::BatteryLife;
+}
+
+WorkloadType
+detectWorkloadType(const PlatformState &state)
+{
+    int cores = 0;
+    if (state.domain(DomainId::Core0).active)
+        ++cores;
+    if (state.domain(DomainId::Core1).active)
+        ++cores;
+    return detectWorkloadType(state.domain(DomainId::GFX).active,
+                              cores);
+}
+
+} // namespace pdnspot

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * PMU workload-type detection (paper Sec. 6).
+ *
+ * The PMU classifies the running workload from domain power states:
+ * graphics if the graphics engines are active, multi-threaded if more
+ * than one core is active, single-threaded if exactly one is, and
+ * battery-life (idle-dominated) if the compute domains are gated.
+ */
+
+#ifndef PDNSPOT_PMU_WORKLOAD_DETECTOR_HH
+#define PDNSPOT_PMU_WORKLOAD_DETECTOR_HH
+
+#include "power/platform_state.hh"
+#include "power/workload_type.hh"
+
+namespace pdnspot
+{
+
+/** Classify from raw domain activity. */
+WorkloadType detectWorkloadType(bool gfx_active, int active_cores);
+
+/** Classify from a full platform snapshot. */
+WorkloadType detectWorkloadType(const PlatformState &state);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_PMU_WORKLOAD_DETECTOR_HH

@@ -1,0 +1,28 @@
+#include "power/domain.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+std::string
+toString(DomainId id)
+{
+    switch (id) {
+      case DomainId::Core0:
+        return "Core0";
+      case DomainId::Core1:
+        return "Core1";
+      case DomainId::LLC:
+        return "LLC";
+      case DomainId::GFX:
+        return "GFX";
+      case DomainId::SA:
+        return "SA";
+      case DomainId::IO:
+        return "IO";
+    }
+    panic("toString: invalid DomainId");
+}
+
+} // namespace pdnspot

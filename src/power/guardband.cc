@@ -1,0 +1,32 @@
+#include "power/guardband.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+GuardbandModel::GuardbandModel(LeakageModel leakage)
+    : _leakage(leakage)
+{}
+
+Power
+GuardbandModel::apply(Power pnom, Voltage vnom, Voltage vgb,
+                      double leakage_fraction) const
+{
+    if (pnom < watts(0.0))
+        fatal("GuardbandModel: negative nominal power");
+    if (vnom <= volts(0.0))
+        fatal("GuardbandModel: non-positive nominal voltage");
+    if (vgb < volts(0.0))
+        fatal("GuardbandModel: negative guardband");
+    if (leakage_fraction < 0.0 || leakage_fraction > 1.0)
+        fatal("GuardbandModel: leakage fraction outside [0, 1]");
+
+    Voltage vgb_total = vnom + vgb;
+    double leak_scale = _leakage.voltageScale(vnom, vgb_total);
+    double dyn_scale = LeakageModel::dynamicVoltageScale(vnom, vgb_total);
+    return pnom * (leakage_fraction * leak_scale +
+                   (1.0 - leakage_fraction) * dyn_scale);
+}
+
+} // namespace pdnspot

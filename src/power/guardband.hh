@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Voltage-guardband power model (paper Eq. 2).
+ *
+ * The supply voltage is held above the nominal voltage required by a
+ * load to ride out the VR tolerance band (TOB) and, for gated domains,
+ * the power-gate drop. The excess voltage costs power that the load
+ * cannot use: dynamic power grows with (V'/V)^2 and leakage with
+ * (V'/V)^delta:
+ *
+ *   PGB = PNOM * [ FL * ((V+VGB)/V)^delta + (1-FL) * ((V+VGB)/V)^2 ]
+ */
+
+#ifndef PDNSPOT_POWER_GUARDBAND_HH
+#define PDNSPOT_POWER_GUARDBAND_HH
+
+#include "common/units.hh"
+#include "power/leakage.hh"
+
+namespace pdnspot
+{
+
+/** Applies Eq. 2 guardband power scaling. */
+class GuardbandModel
+{
+  public:
+    explicit GuardbandModel(LeakageModel leakage = LeakageModel());
+
+    /**
+     * Power after raising the supply by a guardband (Eq. 2).
+     *
+     * @param pnom power at the nominal voltage
+     * @param vnom nominal voltage
+     * @param vgb additional guardband voltage
+     * @param leakage_fraction FL: leakage share of pnom
+     */
+    Power apply(Power pnom, Voltage vnom, Voltage vgb,
+                double leakage_fraction) const;
+
+    const LeakageModel &leakage() const { return _leakage; }
+
+  private:
+    LeakageModel _leakage;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_POWER_GUARDBAND_HH

@@ -1,0 +1,42 @@
+#include "power/leakage.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+LeakageModel::LeakageModel(double voltage_exponent, double thermal_tau)
+    : _voltageExponent(voltage_exponent), _thermalTau(thermal_tau)
+{
+    if (voltage_exponent <= 0.0)
+        fatal("LeakageModel: voltage exponent must be positive");
+    if (thermal_tau <= 0.0)
+        fatal("LeakageModel: thermal tau must be positive");
+}
+
+double
+LeakageModel::voltageScale(Voltage vfrom, Voltage vto) const
+{
+    if (vfrom <= volts(0.0))
+        fatal("LeakageModel: non-positive reference voltage");
+    return std::pow(vto / vfrom, _voltageExponent);
+}
+
+double
+LeakageModel::thermalScale(Celsius tfrom, Celsius tto) const
+{
+    return std::exp((tto - tfrom) / _thermalTau);
+}
+
+double
+LeakageModel::dynamicVoltageScale(Voltage vfrom, Voltage vto)
+{
+    if (vfrom <= volts(0.0))
+        fatal("LeakageModel: non-positive reference voltage");
+    double r = vto / vfrom;
+    return r * r;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Leakage-power scaling model.
+ *
+ * The paper validates (on an Intel Core i7-6600U) that leakage power
+ * scales polynomially with supply voltage with exponent delta ~= 2.8,
+ * and exponentially with junction temperature (Sec. 3.1, Sec. 4.2
+ * "thermal conditioning"). Dynamic power scales with V^2 and is
+ * temperature-independent.
+ */
+
+#ifndef PDNSPOT_POWER_LEAKAGE_HH
+#define PDNSPOT_POWER_LEAKAGE_HH
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** Voltage and temperature scaling of leakage power. */
+class LeakageModel
+{
+  public:
+    /**
+     * @param voltage_exponent delta in (V'/V)^delta (paper: ~2.8)
+     * @param thermal_tau e-folding temperature difference in kelvin
+     */
+    explicit LeakageModel(double voltage_exponent = 2.8,
+                          double thermal_tau = 30.0);
+
+    double voltageExponent() const { return _voltageExponent; }
+
+    /** Leakage multiplier when the supply moves from vfrom to vto. */
+    double voltageScale(Voltage vfrom, Voltage vto) const;
+
+    /** Leakage multiplier when Tj moves from tfrom to tto. */
+    double thermalScale(Celsius tfrom, Celsius tto) const;
+
+    /** Dynamic-power multiplier for the same voltage move: (V'/V)^2. */
+    static double dynamicVoltageScale(Voltage vfrom, Voltage vto);
+
+  private:
+    double _voltageExponent;
+    double _thermalTau;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_POWER_LEAKAGE_HH

@@ -1,0 +1,30 @@
+#include "power/package_cstate.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+std::string
+toString(PackageCState state)
+{
+    switch (state) {
+      case PackageCState::C0:
+        return "C0";
+      case PackageCState::C0Min:
+        return "C0MIN";
+      case PackageCState::C2:
+        return "C2";
+      case PackageCState::C3:
+        return "C3";
+      case PackageCState::C6:
+        return "C6";
+      case PackageCState::C7:
+        return "C7";
+      case PackageCState::C8:
+        return "C8";
+    }
+    panic("toString: invalid PackageCState");
+}
+
+} // namespace pdnspot

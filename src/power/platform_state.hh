@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Snapshot of the whole platform's electrical operating point.
+ *
+ * A PlatformState is the complete input a PDN model needs to compute
+ * end-to-end power-conversion efficiency: the per-domain loads plus
+ * the platform-level context (TDP, workload type, application ratio,
+ * package power state, junction temperature).
+ */
+
+#ifndef PDNSPOT_POWER_PLATFORM_STATE_HH
+#define PDNSPOT_POWER_PLATFORM_STATE_HH
+
+#include <array>
+
+#include "common/units.hh"
+#include "power/domain.hh"
+#include "power/package_cstate.hh"
+#include "power/workload_type.hh"
+
+namespace pdnspot
+{
+
+/** Full platform operating point consumed by the PDN models. */
+struct PlatformState
+{
+    Power tdp;                                   ///< configured TDP
+    WorkloadType workloadType = WorkloadType::MultiThread;
+    double ar = 0.56;                            ///< group-level AR
+    PackageCState cstate = PackageCState::C0;
+    Celsius tj = Celsius(80.0);                  ///< junction temp
+
+    std::array<DomainState, numDomains> domains;
+
+    DomainState &
+    domain(DomainId id)
+    {
+        return domains[domainIndex(id)];
+    }
+
+    const DomainState &
+    domain(DomainId id) const
+    {
+        return domains[domainIndex(id)];
+    }
+
+    /** Sum of nominal power over all active domains. */
+    Power
+    totalNominalPower() const
+    {
+        Power total;
+        for (const auto &d : domains) {
+            if (d.active)
+                total += d.nominalPower;
+        }
+        return total;
+    }
+
+    /** Highest supply voltage among a set of active domains. */
+    template <typename Range>
+    Voltage
+    maxVoltage(const Range &ids) const
+    {
+        Voltage vmax;
+        for (DomainId id : ids) {
+            const DomainState &d = domain(id);
+            if (d.active && d.voltage > vmax)
+                vmax = d.voltage;
+        }
+        return vmax;
+    }
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_POWER_PLATFORM_STATE_HH

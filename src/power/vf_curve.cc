@@ -1,0 +1,57 @@
+#include "power/vf_curve.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+VfCurve::VfCurve(Voltage v0, double lin, double quad, Frequency fmin,
+                 Frequency fmax)
+    : _v0(v0), _lin(lin), _quad(quad), _fmin(fmin), _fmax(fmax)
+{
+    if (fmin >= fmax)
+        fatal("VfCurve: fmin must be below fmax");
+    if (v0 <= volts(0.0))
+        fatal("VfCurve: non-positive voltage intercept");
+}
+
+Frequency
+VfCurve::clamp(Frequency f) const
+{
+    return std::clamp(f, _fmin, _fmax);
+}
+
+Voltage
+VfCurve::voltageAt(Frequency f) const
+{
+    double ghz = inGigahertz(clamp(f));
+    return _v0 + volts(_lin * ghz + _quad * ghz * ghz);
+}
+
+double
+VfCurve::slopeAt(Frequency f) const
+{
+    double ghz = inGigahertz(clamp(f));
+    return _lin + 2.0 * _quad * ghz;
+}
+
+VfCurve
+VfCurve::cores()
+{
+    // 0.8 GHz -> ~0.54 V, 4.0 GHz -> ~1.08 V, matching the paper's
+    // "typically 0.5-1.1 V" operational band (Sec. 2.1).
+    return VfCurve(volts(0.45), 0.105, 0.013, gigahertz(0.8),
+                   gigahertz(4.0));
+}
+
+VfCurve
+VfCurve::graphics()
+{
+    // 0.1 GHz -> ~0.51 V, 1.2 GHz -> ~0.87 V.
+    return VfCurve(volts(0.48), 0.28, 0.04, gigahertz(0.1),
+                   gigahertz(1.2));
+}
+
+} // namespace pdnspot

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Voltage-frequency curves for the compute domains.
+ *
+ * Modern PMUs store voltage-as-a-function-of-frequency tables fused
+ * post-silicon (paper Sec. 6, footnote 11). We model the curve as a
+ * quadratic V(f) = v0 + a*f + b*f^2, which captures the super-linear
+ * voltage demand toward a domain's Fmax, and clamp it to the domain's
+ * legal frequency range (Table 1: cores 0.8-4 GHz, GFX 0.1-1.2 GHz).
+ */
+
+#ifndef PDNSPOT_POWER_VF_CURVE_HH
+#define PDNSPOT_POWER_VF_CURVE_HH
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** A quadratic voltage-frequency curve with a legal frequency range. */
+class VfCurve
+{
+  public:
+    /**
+     * @param v0 voltage intercept
+     * @param lin linear coefficient (volts per GHz)
+     * @param quad quadratic coefficient (volts per GHz^2)
+     */
+    VfCurve(Voltage v0, double lin, double quad, Frequency fmin,
+            Frequency fmax);
+
+    /** Supply voltage required at frequency f (f clamped to range). */
+    Voltage voltageAt(Frequency f) const;
+
+    /** Local slope dV/df in volts per GHz at f. */
+    double slopeAt(Frequency f) const;
+
+    Frequency fmin() const { return _fmin; }
+    Frequency fmax() const { return _fmax; }
+
+    /** Clamp a frequency into the legal range. */
+    Frequency clamp(Frequency f) const;
+
+    /** Curve for the CPU-core clock domain (0.8-4 GHz). */
+    static VfCurve cores();
+
+    /** Curve for the graphics engines (0.1-1.2 GHz). */
+    static VfCurve graphics();
+
+  private:
+    Voltage _v0;
+    double _lin;
+    double _quad;
+    Frequency _fmin;
+    Frequency _fmax;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_POWER_VF_CURVE_HH

@@ -1,0 +1,24 @@
+#include "power/workload_type.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+std::string
+toString(WorkloadType type)
+{
+    switch (type) {
+      case WorkloadType::SingleThread:
+        return "single-thread";
+      case WorkloadType::MultiThread:
+        return "multi-thread";
+      case WorkloadType::Graphics:
+        return "graphics";
+      case WorkloadType::BatteryLife:
+        return "battery-life";
+    }
+    panic("toString: invalid WorkloadType");
+}
+
+} // namespace pdnspot

@@ -1,0 +1,29 @@
+#include "sim/battery_model.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+BatteryModel::BatteryModel(Energy capacity)
+    : _capacity(capacity)
+{
+    if (capacity <= joules(0.0))
+        fatal("BatteryModel: non-positive capacity");
+}
+
+Time
+BatteryModel::life(Power average_power) const
+{
+    if (average_power <= watts(0.0))
+        fatal("BatteryModel: non-positive average power");
+    return _capacity / average_power;
+}
+
+double
+BatteryModel::lifeHours(Power average_power) const
+{
+    return inSeconds(life(average_power)) / 3600.0;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Battery-life projection from average platform power.
+ */
+
+#ifndef PDNSPOT_SIM_BATTERY_MODEL_HH
+#define PDNSPOT_SIM_BATTERY_MODEL_HH
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** A simple capacity/average-power battery-life model. */
+class BatteryModel
+{
+  public:
+    /** @param capacity usable battery energy (e.g. 50 Wh) */
+    explicit BatteryModel(Energy capacity);
+
+    Energy capacity() const { return _capacity; }
+
+    /** Runtime until empty at a constant average draw. */
+    Time life(Power average_power) const;
+
+    /** Runtime in hours, for reporting. */
+    double lifeHours(Power average_power) const;
+
+  private:
+    Energy _capacity;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_SIM_BATTERY_MODEL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Interval simulator: drives PDNs (and the FlexWatts PMU) through
+ * phase traces.
+ *
+ * PDNspot's models predict average behaviour over an interval (paper
+ * Sec. 3.4); the simulator automates the "run the model per interval"
+ * loop the paper describes, stepping a trace phase by phase, letting
+ * the PMU observe the workload through its sensors, and accounting
+ * supply energy -- including the idle windows and energy of FlexWatts
+ * mode-switch flows.
+ */
+
+#ifndef PDNSPOT_SIM_INTERVAL_SIMULATOR_HH
+#define PDNSPOT_SIM_INTERVAL_SIMULATOR_HH
+
+#include "common/units.hh"
+#include "flexwatts/flexwatts_pdn.hh"
+#include "pdn/pdn_model.hh"
+#include "pmu/pmu.hh"
+#include "power/operating_point.hh"
+#include "sim/sim_stats.hh"
+#include "workload/trace.hh"
+
+namespace pdnspot
+{
+
+/** Steps traces through PDN models with configurable resolution. */
+class IntervalSimulator
+{
+  public:
+    /**
+     * @param opm operating-point builder
+     * @param tdp platform TDP
+     * @param tick simulation step (bounds switch-flow resolution)
+     */
+    IntervalSimulator(const OperatingPointModel &opm, Power tdp,
+                      Time tick = microseconds(50.0));
+
+    /** Simulate a static PDN (no mode logic). */
+    SimResult run(const PhaseTrace &trace, const PdnModel &pdn) const;
+
+    /**
+     * Simulate FlexWatts under PMU control: the predictor sees the
+     * workload only through the sensors, pays the 94 us C6 flow per
+     * switch, and may lag or mispredict -- this is the realistic
+     * counterpart of the oracle evaluation.
+     */
+    SimResult run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
+                  Pmu &pmu) const;
+
+    /**
+     * Simulate FlexWatts with an oracle that knows each phase's best
+     * mode instantly and switches for free. Upper bound used by the
+     * predictor-ablation bench.
+     */
+    SimResult runOracle(const PhaseTrace &trace,
+                        const FlexWattsPdn &pdn) const;
+
+  private:
+    PlatformState stateFor(const TracePhase &phase) const;
+
+    const OperatingPointModel &_opm;
+    Power _tdp;
+    Time _tick;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_SIM_INTERVAL_SIMULATOR_HH

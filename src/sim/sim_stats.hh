@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Aggregated statistics of one interval-simulation run.
+ */
+
+#ifndef PDNSPOT_SIM_SIM_STATS_HH
+#define PDNSPOT_SIM_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hh"
+#include "flexwatts/hybrid_mode.hh"
+
+namespace pdnspot
+{
+
+/** Outcome of simulating one trace on one PDN. */
+struct SimResult
+{
+    Time duration;
+    Energy supplyEnergy;    ///< integral of supply power
+    Energy nominalEnergy;   ///< integral of load nominal power
+
+    /** Time spent in each hybrid mode (FlexWatts runs only). */
+    std::array<Time, 2> modeResidency{};
+
+    uint64_t modeSwitches = 0;
+    Time switchOverheadTime;
+    Energy switchOverheadEnergy;
+
+    /** Average supply power over the run. */
+    Power
+    averagePower() const
+    {
+        if (duration <= seconds(0.0))
+            return Power();
+        return supplyEnergy / duration;
+    }
+
+    /** Energy-weighted average ETEE over the run. */
+    double
+    averageEtee() const
+    {
+        if (supplyEnergy <= joules(0.0))
+            return 0.0;
+        return nominalEnergy / supplyEnergy;
+    }
+
+    Time
+    residency(HybridMode mode) const
+    {
+        return modeResidency[static_cast<size_t>(mode)];
+    }
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_SIM_SIM_STATS_HH

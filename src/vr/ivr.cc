@@ -1,0 +1,67 @@
+#include "vr/ivr.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+Ivr::Ivr(IvrParams params)
+    : _params(std::move(params))
+{
+    if (_params.quiescent < watts(0.0) || _params.switchingCoeff < 0.0)
+        fatal("Ivr: loss coefficients must be non-negative");
+}
+
+bool
+Ivr::canConvert(Voltage vin, Voltage vout) const
+{
+    return vin >= vout + _params.minHeadroom;
+}
+
+Power
+Ivr::loss(Voltage vin, Voltage vout, Current iout) const
+{
+    if (!canConvert(vin, vout)) {
+        fatal(strprintf("Ivr %s: insufficient headroom (Vin=%.3fV, "
+                        "Vout=%.3fV)", _params.name.c_str(),
+                        inVolts(vin), inVolts(vout)));
+    }
+    if (iout < amps(0.0))
+        fatal(strprintf("Ivr %s: negative load current",
+                        _params.name.c_str()));
+    if (iout > _params.maxCurrent) {
+        fatal(strprintf("Ivr %s: %.2fA exceeds design limit %.2fA",
+                        _params.name.c_str(), inAmps(iout),
+                        inAmps(_params.maxCurrent)));
+    }
+    Power switching =
+        watts(_params.switchingCoeff * inVolts(vin) * inAmps(iout));
+    Power conduction =
+        watts(inAmps(iout) * inAmps(iout) * _params.conduction.value());
+    return _params.quiescent + switching + conduction;
+}
+
+double
+Ivr::efficiency(Voltage vin, Voltage vout, Current iout) const
+{
+    Power pout = vout * iout;
+    if (pout <= watts(0.0))
+        return 0.0;
+    return pout / (pout + loss(vin, vout, iout));
+}
+
+Power
+Ivr::inputPower(Voltage vin, Voltage vout, Power pout) const
+{
+    if (pout <= watts(0.0))
+        return watts(0.0);
+    Current iout = pout / vout;
+    double eta = efficiency(vin, vout, iout);
+    if (eta <= 0.0) {
+        panic(strprintf("Ivr %s: non-positive efficiency at Pout=%.3fW",
+                        _params.name.c_str(), inWatts(pout)));
+    }
+    return pout / eta;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fully-integrated voltage regulator (IVR) model.
+ *
+ * The IVR is an on-die/on-package buck converter (FIVR, Burton et al.,
+ * APEC 2014) fed by a ~1.8 V first-stage rail. Compared to a
+ * motherboard buck, the IVR switches at much higher frequency (air-core
+ * package inductors are small), so switching losses dominate and the
+ * measured efficiency band is 81%-88% across the operational range
+ * (paper Table 2). At very light load the fixed bridge/control losses
+ * dominate and efficiency collapses -- the root cause of the IVR PDN's
+ * poor battery-life ETEE (paper Observation 3).
+ */
+
+#ifndef PDNSPOT_VR_IVR_HH
+#define PDNSPOT_VR_IVR_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** Loss coefficients of an integrated buck VR. */
+struct IvrParams
+{
+    std::string name;                     ///< rail name, e.g. "V_Core0"
+    Power quiescent = milliwatts(18.0);   ///< bridge + PWM control idle
+    double switchingCoeff = 0.060;        ///< loss per (Vin * Iout)
+    Resistance conduction = milliohms(3.2); ///< bridge + ACI resistance
+    Current maxCurrent = amps(45.0);      ///< electrical design limit
+    Voltage minHeadroom = volts(0.35);    ///< min Vin - Vout for duty
+};
+
+/**
+ * An on-die integrated switching VR. Unlike the off-chip BuckVr, an
+ * IVR has a single operating state; light-load behaviour is captured
+ * by the loss decomposition itself.
+ */
+class Ivr
+{
+  public:
+    explicit Ivr(IvrParams params);
+
+    const std::string &name() const { return _params.name; }
+    const IvrParams &params() const { return _params; }
+
+    /** Conversion loss at an operating point. */
+    Power loss(Voltage vin, Voltage vout, Current iout) const;
+
+    /** Eq. 1 efficiency; zero load gives zero. */
+    double efficiency(Voltage vin, Voltage vout, Current iout) const;
+
+    /** Input power drawn from the first-stage rail for pout. */
+    Power inputPower(Voltage vin, Voltage vout, Power pout) const;
+
+    bool canConvert(Voltage vin, Voltage vout) const;
+
+  private:
+    IvrParams _params;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_VR_IVR_HH

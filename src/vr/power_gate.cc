@@ -1,0 +1,25 @@
+#include "vr/power_gate.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+PowerGate::PowerGate(PowerGateParams params)
+    : _params(std::move(params))
+{
+    if (_params.onResistance < ohms(0.0))
+        fatal(strprintf("PowerGate %s: negative on-resistance",
+                        _params.name.c_str()));
+}
+
+Voltage
+PowerGate::drop(Current idomain) const
+{
+    if (idomain < amps(0.0))
+        fatal(strprintf("PowerGate %s: negative current",
+                        _params.name.c_str()));
+    return idomain * _params.onResistance;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * On-chip power gate model.
+ *
+ * Power gates disconnect idle domains from their supply rail. When a
+ * gated domain is active, the gate's on-resistance (RPG, 1-2 mOhm per
+ * paper Table 2) drops voltage across it; the supply must be raised by
+ * that drop, which costs extra power (paper Sec. 3.1, the PPG term).
+ */
+
+#ifndef PDNSPOT_VR_POWER_GATE_HH
+#define PDNSPOT_VR_POWER_GATE_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+
+/** Parameters of an on-chip power gate. */
+struct PowerGateParams
+{
+    std::string name;                      ///< e.g. "PG_Core0"
+    Resistance onResistance = milliohms(1.5); ///< RPG (Table 2: 1-2 mOhm)
+    Power offLeakage = milliwatts(1.0);    ///< residual leak when gated
+};
+
+/** An on-chip power gate in series with a domain. */
+class PowerGate
+{
+  public:
+    explicit PowerGate(PowerGateParams params);
+
+    const std::string &name() const { return _params.name; }
+    const PowerGateParams &params() const { return _params; }
+
+    /** Voltage dropped across the gate at a given domain current. */
+    Voltage drop(Current idomain) const;
+
+    /** Residual leakage power drawn when the domain is gated off. */
+    Power offLeakage() const { return _params.offLeakage; }
+
+  private:
+    PowerGateParams _params;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_VR_POWER_GATE_HH

@@ -1,0 +1,24 @@
+#include "vr/vr_power_state.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+std::string
+toString(VrPowerState ps)
+{
+    switch (ps) {
+      case VrPowerState::PS0:
+        return "PS0";
+      case VrPowerState::PS1:
+        return "PS1";
+      case VrPowerState::PS3:
+        return "PS3";
+      case VrPowerState::PS4:
+        return "PS4";
+    }
+    panic("toString: invalid VrPowerState");
+}
+
+} // namespace pdnspot

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Battery-life workload residency profiles.
+ *
+ * Battery-life workloads (paper Sec. 5 and Fig. 8c) duty-cycle the
+ * processor between a minimum-frequency active state (C0MIN) and
+ * package C-states. The paper's video playback profile is explicit:
+ * C0MIN for 10% of the frame time, C2 for 5%, C8 for 85%, with
+ * nominal powers 2.5/1.2/0.13 W; the other profiles have 20/30/40%
+ * C0MIN residency for video conferencing / web browsing / light
+ * gaming respectively (Sec. 7.1). The workloads' average power is
+ * nearly TDP-independent.
+ */
+
+#ifndef PDNSPOT_WORKLOAD_BATTERY_PROFILES_HH
+#define PDNSPOT_WORKLOAD_BATTERY_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "power/package_cstate.hh"
+
+namespace pdnspot
+{
+
+/** One battery-life workload's C-state residency mix. */
+struct BatteryProfile
+{
+    std::string name;
+
+    /** (state, fraction-of-time) entries; fractions sum to 1. */
+    std::vector<std::pair<PackageCState, double>> residencies;
+
+    /** Residency of one state (0 if absent). */
+    double residency(PackageCState state) const;
+
+    /** True iff residencies are non-negative and sum to ~1. */
+    bool valid() const;
+};
+
+/** The paper's video playback profile (10% C0MIN / 5% C2 / 85% C8). */
+BatteryProfile videoPlayback();
+
+/** Video conferencing: 20% C0MIN. */
+BatteryProfile videoConferencing();
+
+/** Web browsing: 30% C0MIN. */
+BatteryProfile webBrowsing();
+
+/** Light gaming: 40% C0MIN. */
+BatteryProfile lightGaming();
+
+/** All four battery-life workloads of Fig. 8c. */
+const std::vector<BatteryProfile> &batteryLifeWorkloads();
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_WORKLOAD_BATTERY_PROFILES_HH

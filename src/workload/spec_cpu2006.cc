@@ -1,0 +1,72 @@
+#include "workload/spec_cpu2006.hh"
+
+namespace pdnspot
+{
+
+namespace
+{
+
+Workload
+spec(const char *name, double scalability, double ar)
+{
+    Workload w;
+    w.name = name;
+    w.type = WorkloadType::SingleThread;
+    w.scalability = scalability;
+    w.ar = ar;
+    return w;
+}
+
+} // anonymous namespace
+
+const std::vector<Workload> &
+specCpu2006()
+{
+    // Ordered as in Fig. 7 (ascending scalability). Memory-bound
+    // benchmarks (milc, bwaves, mcf, lbm, libquantum ...) scale poorly
+    // with clock and have lower ARs; compute-bound ones (gamess,
+    // hmmer, povray ...) approach scalability 1 with high ARs.
+    static const std::vector<Workload> suite = {
+        spec("433.milc", 0.33, 0.47),
+        spec("410.bwaves", 0.37, 0.49),
+        spec("459.GemsFDTD", 0.41, 0.50),
+        spec("450.soplex", 0.46, 0.48),
+        spec("434.zeusmp", 0.51, 0.53),
+        spec("437.leslie3d", 0.55, 0.52),
+        spec("471.omnetpp", 0.59, 0.46),
+        spec("429.mcf", 0.62, 0.44),
+        spec("481.wrf", 0.65, 0.56),
+        spec("403.gcc", 0.68, 0.54),
+        spec("470.lbm", 0.71, 0.51),
+        spec("436.cactusADM", 0.74, 0.58),
+        spec("482.sphinx3", 0.77, 0.57),
+        spec("462.libquantum", 0.79, 0.45),
+        spec("447.dealII", 0.82, 0.62),
+        spec("483.xalancbmk", 0.84, 0.55),
+        spec("454.calculix", 0.86, 0.66),
+        spec("473.astar", 0.88, 0.54),
+        spec("435.gromacs", 0.90, 0.68),
+        spec("401.bzip2", 0.91, 0.60),
+        spec("465.tonto", 0.92, 0.67),
+        spec("444.namd", 0.93, 0.71),
+        spec("458.sjeng", 0.94, 0.63),
+        spec("464.h264ref", 0.95, 0.72),
+        spec("445.gobmk", 0.96, 0.61),
+        spec("453.povray", 0.97, 0.74),
+        spec("400.perlbench", 0.98, 0.65),
+        spec("456.hmmer", 0.99, 0.76),
+        spec("416.gamess", 1.00, 0.78),
+    };
+    return suite;
+}
+
+double
+specCpu2006MeanScalability()
+{
+    double sum = 0.0;
+    for (const Workload &w : specCpu2006())
+        sum += w.scalability;
+    return sum / static_cast<double>(specCpu2006().size());
+}
+
+} // namespace pdnspot

@@ -1,0 +1,52 @@
+#include "workload/trace.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+PhaseTrace::PhaseTrace(std::string name, std::vector<TracePhase> phases)
+    : _name(std::move(name)), _phases(std::move(phases))
+{
+    for (const TracePhase &p : _phases) {
+        if (p.duration <= seconds(0.0))
+            fatal("PhaseTrace: phase durations must be positive");
+    }
+}
+
+Time
+PhaseTrace::totalDuration() const
+{
+    Time total;
+    for (const TracePhase &p : _phases)
+        total += p.duration;
+    return total;
+}
+
+PhaseTrace
+traceFromBatteryProfile(const BatteryProfile &profile, Time frame_period,
+                        size_t frames)
+{
+    if (!profile.valid())
+        fatal("traceFromBatteryProfile: residencies must sum to 1");
+    if (frame_period <= seconds(0.0) || frames == 0)
+        fatal("traceFromBatteryProfile: empty trace requested");
+
+    std::vector<TracePhase> phases;
+    phases.reserve(frames * profile.residencies.size());
+    for (size_t f = 0; f < frames; ++f) {
+        for (const auto &[state, share] : profile.residencies) {
+            if (share <= 0.0)
+                continue;
+            TracePhase p;
+            p.duration = frame_period * share;
+            p.cstate = state;
+            p.type = WorkloadType::BatteryLife;
+            p.ar = 0.30;
+            phases.push_back(p);
+        }
+    }
+    return PhaseTrace(profile.name + "-trace", std::move(phases));
+}
+
+} // namespace pdnspot

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Phase traces: time-varying workload descriptions for the simulator.
+ *
+ * The interval simulator (src/sim) drives the PMU and the PDN through
+ * a sequence of phases. Each phase pins the platform in one package
+ * power state and (for active phases) one workload type and AR for a
+ * duration; the PMU observes the phases through its activity sensors
+ * and decides FlexWatts mode switches.
+ */
+
+#ifndef PDNSPOT_WORKLOAD_TRACE_HH
+#define PDNSPOT_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "power/package_cstate.hh"
+#include "power/workload_type.hh"
+#include "workload/battery_profiles.hh"
+
+namespace pdnspot
+{
+
+/** One homogeneous stretch of execution. */
+struct TracePhase
+{
+    Time duration;
+    PackageCState cstate = PackageCState::C0;
+    WorkloadType type = WorkloadType::MultiThread; ///< for C0 phases
+    double ar = 0.56;                              ///< for C0 phases
+};
+
+/** A named sequence of phases. */
+class PhaseTrace
+{
+  public:
+    PhaseTrace() = default;
+    PhaseTrace(std::string name, std::vector<TracePhase> phases);
+
+    const std::string &name() const { return _name; }
+    const std::vector<TracePhase> &phases() const { return _phases; }
+
+    Time totalDuration() const;
+
+    void append(TracePhase phase) { _phases.push_back(phase); }
+
+  private:
+    std::string _name;
+    std::vector<TracePhase> _phases;
+};
+
+/**
+ * Expand a battery-life residency profile into a repeating frame
+ * trace: each frame of the given period visits the profile's states
+ * in order, holding each for its residency share.
+ */
+PhaseTrace traceFromBatteryProfile(const BatteryProfile &profile,
+                                   Time frame_period, size_t frames);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_WORKLOAD_TRACE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic phase-trace generation.
+ *
+ * The paper's validation corpus (~5000 proprietary traces spanning
+ * SPEC, graphics, productivity and idle behaviour, Sec. 4.1) is not
+ * redistributable; TraceGenerator synthesizes deterministic stand-ins
+ * with the same structure: bursts of CPU work at varying AR,
+ * graphics scenes, and idle gaps, all reproducible from a seed.
+ */
+
+#ifndef PDNSPOT_WORKLOAD_TRACE_GENERATOR_HH
+#define PDNSPOT_WORKLOAD_TRACE_GENERATOR_HH
+
+#include <cstdint>
+
+#include "common/noise.hh"
+#include "workload/trace.hh"
+
+namespace pdnspot
+{
+
+/** Deterministic synthetic trace builder. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(uint64_t seed) : _noise(seed), _seed(seed) {}
+
+    /**
+     * A bursty interactive trace alternating compute bursts (mixed
+     * single/multi-thread, AR 0.4-0.8) with idle periods in deep
+     * C-states. Exercises FlexWatts's mode predictor in both
+     * directions.
+     */
+    PhaseTrace burstyCompute(size_t bursts, Time burst_len,
+                             Time idle_len) const;
+
+    /**
+     * A "day-in-the-life" client trace: office-style light work,
+     * a compile-like multi-thread stretch, a gaming (graphics)
+     * session, video playback, and standby.
+     */
+    PhaseTrace dayInTheLife() const;
+
+    /**
+     * A uniform random phase mix for property-style fuzzing: each
+     * phase independently draws a state, type and AR.
+     */
+    PhaseTrace randomMix(size_t phases, Time mean_phase_len) const;
+
+  private:
+    double unit(uint64_t k) const { return _noise.unit(k); }
+
+    HashNoise _noise;
+    uint64_t _seed;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_WORKLOAD_TRACE_GENERATOR_HH

@@ -1,0 +1,17 @@
+#include "workload/workload.hh"
+
+namespace pdnspot
+{
+
+Workload
+powerVirus(WorkloadType type)
+{
+    Workload w;
+    w.name = "power-virus-" + toString(type);
+    w.type = type;
+    w.ar = 1.0;
+    w.scalability = 1.0;
+    return w;
+}
+
+} // namespace pdnspot

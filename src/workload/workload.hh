@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Workload descriptors consumed by the PDN and performance models.
+ *
+ * PDNspot characterizes a workload by exactly the quantities the
+ * paper's models consume: its type (single-thread / multi-thread /
+ * graphics / battery-life), its application ratio (AR, the switching
+ * intensity relative to the power-virus, Sec. 2.4), and its
+ * performance-scalability (the fractional speedup per fractional
+ * clock increase, Sec. 3.3).
+ */
+
+#ifndef PDNSPOT_WORKLOAD_WORKLOAD_HH
+#define PDNSPOT_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+
+#include "power/workload_type.hh"
+
+namespace pdnspot
+{
+
+/** One benchmark's model-facing characterization. */
+struct Workload
+{
+    std::string name;
+    WorkloadType type = WorkloadType::SingleThread;
+    double ar = 0.56;          ///< application ratio in (0, 1]
+    double scalability = 1.0;  ///< perf gain per unit clock gain [0, 1]
+};
+
+/**
+ * The synthetic power-virus: the most computationally intensive
+ * pattern possible, which by definition has AR = 1 (Sec. 2.4). Used
+ * to size load-line guardbands and rail Iccmax.
+ */
+Workload powerVirus(WorkloadType type);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit and property tests for the off-chip buck VR model (Fig. 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "vr/buck_vr.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+BuckVr
+mb()
+{
+    return BuckVr(BuckParams::motherboard("V_test"));
+}
+
+TEST(BuckVr, EfficiencyWithinTable2Envelope)
+{
+    // Table 2: off-chip VR efficiency 72-93% over the operational
+    // range (PS0/PS1, realistic per-state load currents).
+    BuckVr vr = mb();
+    for (double vout : {0.6, 0.7, 1.0, 1.8}) {
+        for (double iout : {0.5, 1.0, 3.0, 5.0, 10.0, 20.0}) {
+            double eta = vr.efficiencyAuto(volts(7.2), volts(vout),
+                                           amps(iout));
+            EXPECT_GT(eta, 0.60) << vout << "V " << iout << "A";
+            EXPECT_LT(eta, 0.95) << vout << "V " << iout << "A";
+        }
+    }
+    // Mid-current sweet spot reaches the upper envelope.
+    EXPECT_GT(vr.efficiencyAuto(volts(7.2), volts(1.8), amps(5.0)),
+              0.88);
+}
+
+TEST(BuckVr, LightLoadRolloffInPs0)
+{
+    // Fig. 3: PS0 efficiency collapses at light load (fixed losses).
+    BuckVr vr = mb();
+    double at_5a = vr.efficiency(volts(7.2), volts(1.0), amps(5.0),
+                                 VrPowerState::PS0);
+    double at_01a = vr.efficiency(volts(7.2), volts(1.0), amps(0.1),
+                                  VrPowerState::PS0);
+    EXPECT_GT(at_5a, at_01a + 0.15);
+}
+
+TEST(BuckVr, Ps1BeatsPs0AtLightLoad)
+{
+    // Fig. 3: phase shedding keeps light-load efficiency high.
+    BuckVr vr = mb();
+    double ps0 = vr.efficiency(volts(7.2), volts(1.0), amps(0.2),
+                               VrPowerState::PS0);
+    double ps1 = vr.efficiency(volts(7.2), volts(1.0), amps(0.2),
+                               VrPowerState::PS1);
+    EXPECT_GT(ps1, ps0);
+}
+
+TEST(BuckVr, Ps0BeatsPs1AtHeavyLoad)
+{
+    BuckVr vr = mb();
+    double ps0 = vr.efficiency(volts(7.2), volts(1.0), amps(3.0),
+                               VrPowerState::PS0);
+    double ps1 = vr.efficiency(volts(7.2), volts(1.0), amps(3.0),
+                               VrPowerState::PS1);
+    EXPECT_GT(ps0, ps1);
+}
+
+TEST(BuckVr, BestStateRespectsCeilings)
+{
+    BuckVr vr = mb();
+    auto heavy = vr.bestState(volts(7.2), volts(1.0), amps(10.0));
+    ASSERT_TRUE(heavy.has_value());
+    EXPECT_EQ(*heavy, VrPowerState::PS0);
+
+    auto light = vr.bestState(volts(7.2), volts(1.0), amps(0.05));
+    ASSERT_TRUE(light.has_value());
+    EXPECT_NE(*light, VrPowerState::PS0);
+}
+
+TEST(BuckVr, BestStateMatchesExhaustiveArgmin)
+{
+    BuckVr vr = mb();
+    for (double iout : {0.02, 0.08, 0.3, 1.0, 2.5, 8.0, 40.0}) {
+        auto best = vr.bestState(volts(7.2), volts(1.0), amps(iout));
+        ASSERT_TRUE(best.has_value());
+        double best_eta = vr.efficiency(volts(7.2), volts(1.0),
+                                        amps(iout), *best);
+        for (VrPowerState ps : allVrPowerStates) {
+            if (amps(iout) > vr.stateParams(ps).maxCurrent)
+                continue;
+            EXPECT_GE(best_eta + 1e-12,
+                      vr.efficiency(volts(7.2), volts(1.0), amps(iout),
+                                    ps));
+        }
+    }
+}
+
+TEST(BuckVr, OverCurrentIsFatal)
+{
+    BuckVr vr = mb();
+    EXPECT_THROW(vr.efficiency(volts(7.2), volts(1.0), amps(100.0),
+                               VrPowerState::PS0),
+                 ConfigError);
+    EXPECT_FALSE(
+        vr.bestState(volts(7.2), volts(1.0), amps(100.0)).has_value());
+    EXPECT_THROW(vr.efficiencyAuto(volts(7.2), volts(1.0), amps(100.0)),
+                 ConfigError);
+}
+
+TEST(BuckVr, HeadroomViolationIsFatal)
+{
+    BuckVr vr = mb();
+    EXPECT_FALSE(vr.canConvert(volts(1.0), volts(0.9)));
+    EXPECT_THROW(vr.loss(volts(1.0), volts(0.9), amps(1.0),
+                         VrPowerState::PS0),
+                 ConfigError);
+}
+
+TEST(BuckVr, NegativeCurrentIsFatal)
+{
+    BuckVr vr = mb();
+    EXPECT_THROW(vr.loss(volts(7.2), volts(1.0), amps(-1.0),
+                         VrPowerState::PS0),
+                 ConfigError);
+}
+
+TEST(BuckVr, ZeroLoadZeroEfficiencyZeroInput)
+{
+    BuckVr vr = mb();
+    EXPECT_DOUBLE_EQ(vr.efficiencyAuto(volts(7.2), volts(1.0),
+                                       amps(0.0)),
+                     0.0);
+    EXPECT_DOUBLE_EQ(inWatts(vr.inputPower(volts(7.2), volts(1.0),
+                                           watts(0.0))),
+                     0.0);
+}
+
+TEST(BuckVr, InputPowerExceedsOutputPower)
+{
+    BuckVr vr = mb();
+    for (double pout : {0.1, 1.0, 5.0, 20.0}) {
+        Power pin = vr.inputPower(volts(7.2), volts(1.0), watts(pout));
+        EXPECT_GT(inWatts(pin), pout);
+    }
+}
+
+TEST(BuckVr, NonIncreasingCeilingsEnforced)
+{
+    BuckParams p = BuckParams::motherboard("bad");
+    p.states[1].maxCurrent = amps(200.0); // above PS0's
+    EXPECT_THROW(BuckVr{p}, ConfigError);
+}
+
+TEST(BuckVr, PowerStateNames)
+{
+    EXPECT_EQ(toString(VrPowerState::PS0), "PS0");
+    EXPECT_EQ(toString(VrPowerState::PS4), "PS4");
+}
+
+/** Property: efficiency is continuous-ish and bounded over a sweep. */
+class BuckSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(BuckSweep, EfficiencyBoundedAndLossPositive)
+{
+    auto [vout, iout] = GetParam();
+    BuckVr vr = mb();
+    double eta = vr.efficiencyAuto(volts(7.2), volts(vout), amps(iout));
+    EXPECT_GT(eta, 0.0);
+    EXPECT_LT(eta, 1.0);
+    auto ps = vr.bestState(volts(7.2), volts(vout), amps(iout));
+    ASSERT_TRUE(ps.has_value());
+    EXPECT_GT(inWatts(vr.loss(volts(7.2), volts(vout), amps(iout),
+                              *ps)),
+              0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BuckSweep,
+    ::testing::Combine(::testing::Values(0.5, 0.7, 1.0, 1.8),
+                       ::testing::Values(0.05, 0.2, 1.0, 4.0, 15.0,
+                                         60.0)));
+
+/** Property: higher input voltage costs switching loss. */
+TEST(BuckVr, LossGrowsWithInputVoltage)
+{
+    BuckVr vr = mb();
+    Power at_72 = vr.loss(volts(7.2), volts(1.0), amps(2.0),
+                          VrPowerState::PS0);
+    Power at_12 = vr.loss(volts(12.0), volts(1.0), amps(2.0),
+                          VrPowerState::PS0);
+    Power at_20 = vr.loss(volts(20.0), volts(1.0), amps(2.0),
+                          VrPowerState::PS0);
+    EXPECT_LT(at_72, at_12);
+    EXPECT_LT(at_12, at_20);
+}
+
+} // anonymous namespace
+} // namespace pdnspot

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the BOM-cost and board-area models (Fig. 8d/8e).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cost/board_budget.hh"
+#include "cost/vr_cost_model.hh"
+#include "pdnspot/experiments.hh"
+#include "pdnspot/platform.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(VrCostModelTest, MonotoneInIccmax)
+{
+    VrCostModel m;
+    double prev_cost = 0.0;
+    double prev_area = 0.0;
+    for (double i : {0.5, 1.0, 3.0, 10.0, 30.0, 80.0}) {
+        double c = m.railCost(amps(i));
+        double a = inSquareMillimetres(m.railArea(amps(i)));
+        EXPECT_GT(c, prev_cost) << i;
+        EXPECT_GT(a, prev_area) << i;
+        prev_cost = c;
+        prev_area = a;
+    }
+}
+
+TEST(VrCostModelTest, ZeroCurrentIsFree)
+{
+    VrCostModel m;
+    EXPECT_DOUBLE_EQ(m.railCost(amps(0.0)), 0.0);
+    EXPECT_DOUBLE_EQ(inSquareMillimetres(m.railArea(amps(0.0))), 0.0);
+    EXPECT_THROW(m.railCost(amps(-1.0)), ConfigError);
+}
+
+TEST(VrCostModelTest, CostSuperlinearAreaSublinear)
+{
+    VrCostModel m;
+    // Cost: doubling current more than doubles the variable cost.
+    double c10 = m.railCost(amps(10.0)) - m.params().costBaseUsd;
+    double c20 = m.railCost(amps(20.0)) - m.params().costBaseUsd;
+    EXPECT_GT(c20, 2.0 * c10);
+    // Area: inductor volume amortizes.
+    double a10 = inSquareMillimetres(m.railArea(amps(10.0))) -
+                 m.params().areaBaseMm2;
+    double a20 = inSquareMillimetres(m.railArea(amps(20.0))) -
+                 m.params().areaBaseMm2;
+    EXPECT_LT(a20, 2.0 * a10);
+}
+
+class CostTest : public ::testing::Test
+{
+  protected:
+    CostTest() : platform() {}
+
+    Platform platform;
+};
+
+TEST_F(CostTest, PmicVrmBoundaryAt18W)
+{
+    const auto &calc = platform.costs();
+    EXPECT_TRUE(
+        calc.evaluate(platform.pdn(PdnKind::IVR), watts(18.0))
+            .usesPmic);
+    EXPECT_FALSE(
+        calc.evaluate(platform.pdn(PdnKind::IVR), watts(25.0))
+            .usesPmic);
+}
+
+TEST_F(CostTest, Fig8dBomOrdering)
+{
+    // Fig. 8d: MBVR most expensive, then LDO; FlexWatts and I+MBVR
+    // comparable to IVR.
+    for (double tdp : evaluationTdpsW) {
+        double mbvr = normalizedBom(platform, PdnKind::MBVR,
+                                    watts(tdp));
+        double ldo = normalizedBom(platform, PdnKind::LDO, watts(tdp));
+        double flex = normalizedBom(platform, PdnKind::FlexWatts,
+                                    watts(tdp));
+        double imbvr = normalizedBom(platform, PdnKind::IplusMBVR,
+                                     watts(tdp));
+        EXPECT_GT(mbvr, ldo) << tdp;
+        EXPECT_GT(ldo, flex) << tdp;
+        EXPECT_LT(flex, 1.25) << tdp; // "comparable cost to IVR"
+        EXPECT_LT(imbvr, 1.25) << tdp;
+        EXPECT_GT(mbvr, 1.7) << tdp;  // paper band: 2.1x-4.2x
+        EXPECT_LT(mbvr, 4.5) << tdp;
+        EXPECT_GT(ldo, 1.35) << tdp;  // paper band: 1.6x-3.1x
+        EXPECT_LT(ldo, 3.3) << tdp;
+    }
+}
+
+TEST_F(CostTest, Fig8eAreaOrdering)
+{
+    // Fig. 8e: MBVR 1.5x-4.5x, LDO 1.1x-3.3x; FlexWatts/I+MBVR
+    // comparable to IVR.
+    for (double tdp : evaluationTdpsW) {
+        double mbvr = normalizedArea(platform, PdnKind::MBVR,
+                                     watts(tdp));
+        double ldo = normalizedArea(platform, PdnKind::LDO,
+                                    watts(tdp));
+        double flex = normalizedArea(platform, PdnKind::FlexWatts,
+                                     watts(tdp));
+        EXPECT_GT(mbvr, 1.5) << tdp;
+        EXPECT_LT(mbvr, 4.5) << tdp;
+        EXPECT_GT(ldo, 1.1) << tdp;
+        EXPECT_LT(ldo, 3.3) << tdp;
+        EXPECT_GT(mbvr, ldo) << tdp;
+        EXPECT_LT(flex, 1.4) << tdp;
+    }
+}
+
+TEST_F(CostTest, RailMergeTakesWorstCase)
+{
+    // The GFX rail of MBVR must be sized by the graphics corner even
+    // though the CPU corner leaves GFX gated.
+    auto rails = platform.costs().worstCaseRails(
+        platform.pdn(PdnKind::MBVR), watts(25.0));
+    bool found_gfx = false;
+    for (const OffChipRail &r : rails) {
+        if (r.name == "V_GFX") {
+            found_gfx = true;
+            EXPECT_GT(inAmps(r.iccMax), 5.0);
+        }
+    }
+    EXPECT_TRUE(found_gfx);
+}
+
+TEST_F(CostTest, AbsoluteCostGrowsWithTdp)
+{
+    const auto &calc = platform.costs();
+    double prev = 0.0;
+    for (double tdp : {25.0, 36.0, 50.0}) { // within the VRM regime
+        double c = calc.evaluate(platform.pdn(PdnKind::IVR),
+                                 watts(tdp))
+                       .bomCostUsd;
+        EXPECT_GT(c, prev) << tdp;
+        prev = c;
+    }
+}
+
+TEST_F(CostTest, FlexWattsVinCheaperThanLdoVin)
+{
+    // The reason FlexWatts wins BOM (Sec. 7): its shared V_IN is
+    // sized for IVR-Mode current.
+    auto flex = platform.costs().worstCaseRails(
+        platform.pdn(PdnKind::FlexWatts), watts(50.0));
+    auto ldo = platform.costs().worstCaseRails(
+        platform.pdn(PdnKind::LDO), watts(50.0));
+    Current flex_vin, ldo_vin;
+    for (const auto &r : flex)
+        if (r.name == "V_IN")
+            flex_vin = r.iccMax;
+    for (const auto &r : ldo)
+        if (r.name == "V_IN")
+            ldo_vin = r.iccMax;
+    EXPECT_LT(inAmps(flex_vin), 0.75 * inAmps(ldo_vin));
+}
+
+} // anonymous namespace
+} // namespace pdnspot

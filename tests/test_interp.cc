@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the interpolation tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/interp.hh"
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(LinearTable, ExactBreakpoints)
+{
+    LinearTable t({{0.0, 1.0}, {1.0, 3.0}, {2.0, 2.0}});
+    EXPECT_DOUBLE_EQ(t.at(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.at(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(t.at(2.0), 2.0);
+}
+
+TEST(LinearTable, Interpolates)
+{
+    LinearTable t({{0.0, 0.0}, {10.0, 100.0}});
+    EXPECT_DOUBLE_EQ(t.at(2.5), 25.0);
+    EXPECT_DOUBLE_EQ(t.at(7.5), 75.0);
+}
+
+TEST(LinearTable, ClampsOutsideDomain)
+{
+    LinearTable t({{1.0, 5.0}, {2.0, 9.0}});
+    EXPECT_DOUBLE_EQ(t.at(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(t.at(100.0), 9.0);
+}
+
+TEST(LinearTable, SinglePointActsConstant)
+{
+    LinearTable t({{3.0, 7.0}});
+    EXPECT_DOUBLE_EQ(t.at(-1.0), 7.0);
+    EXPECT_DOUBLE_EQ(t.at(3.0), 7.0);
+    EXPECT_DOUBLE_EQ(t.at(99.0), 7.0);
+}
+
+TEST(LinearTable, SlopeAt)
+{
+    LinearTable t({{0.0, 0.0}, {1.0, 2.0}, {2.0, 2.0}});
+    EXPECT_DOUBLE_EQ(t.slopeAt(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(t.slopeAt(1.5), 0.0);
+    EXPECT_DOUBLE_EQ(t.slopeAt(-1.0), 0.0); // clamped region
+}
+
+TEST(LinearTable, MinMaxX)
+{
+    LinearTable t({{2.0, 0.0}, {8.0, 1.0}});
+    EXPECT_DOUBLE_EQ(t.minX(), 2.0);
+    EXPECT_DOUBLE_EQ(t.maxX(), 8.0);
+}
+
+TEST(LinearTable, RejectsEmptyAndUnsorted)
+{
+    EXPECT_THROW(LinearTable(std::vector<std::pair<double, double>>{}),
+                 ConfigError);
+    EXPECT_THROW(LinearTable({{1.0, 0.0}, {1.0, 1.0}}), ConfigError);
+    EXPECT_THROW(LinearTable({{2.0, 0.0}, {1.0, 1.0}}), ConfigError);
+}
+
+TEST(LinearTable, MonotoneInputStaysWithinHull)
+{
+    LinearTable t({{0.0, 1.0}, {5.0, 4.0}, {10.0, 2.0}});
+    for (double x = -2.0; x <= 12.0; x += 0.37) {
+        double y = t.at(x);
+        EXPECT_GE(y, 1.0);
+        EXPECT_LE(y, 4.0);
+    }
+}
+
+TEST(BilinearGrid, CornersExact)
+{
+    BilinearGrid g({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(g.at(0.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(g.at(0.0, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(g.at(1.0, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(g.at(1.0, 1.0), 4.0);
+}
+
+TEST(BilinearGrid, CenterIsMean)
+{
+    BilinearGrid g({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(g.at(0.5, 0.5), 2.5);
+}
+
+TEST(BilinearGrid, ClampsBothAxes)
+{
+    BilinearGrid g({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(g.at(-5.0, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(g.at(9.0, 9.0), 4.0);
+    EXPECT_DOUBLE_EQ(g.at(-5.0, 9.0), 2.0);
+}
+
+TEST(BilinearGrid, RejectsBadShapes)
+{
+    EXPECT_THROW(BilinearGrid({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0}),
+                 ConfigError);
+    EXPECT_THROW(BilinearGrid({1.0, 0.0}, {0.0, 1.0},
+                              {1.0, 2.0, 3.0, 4.0}),
+                 ConfigError);
+    EXPECT_THROW(BilinearGrid({}, {0.0}, {}), ConfigError);
+}
+
+TEST(BilinearGrid, ReducesToLinearOnDegenerateAxis)
+{
+    BilinearGrid g({0.0, 2.0}, {5.0}, {10.0, 20.0});
+    EXPECT_DOUBLE_EQ(g.at(1.0, 5.0), 15.0);
+    EXPECT_DOUBLE_EQ(g.at(1.0, -3.0), 15.0);
+}
+
+/** Property sweep: bilinear interpolation is monotone between rows. */
+class BilinearMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BilinearMonotone, WithinCellHull)
+{
+    BilinearGrid g({0.0, 1.0, 2.0}, {0.0, 1.0},
+                   {0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+    double x = GetParam();
+    double lo = g.at(x, 0.0);
+    double hi = g.at(x, 1.0);
+    double mid = g.at(x, 0.5);
+    EXPECT_GE(mid, std::min(lo, hi) - 1e-12);
+    EXPECT_LE(mid, std::max(lo, hi) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BilinearMonotone,
+                         ::testing::Values(0.0, 0.3, 0.77, 1.2, 1.9,
+                                           2.0));
+
+} // anonymous namespace
+} // namespace pdnspot

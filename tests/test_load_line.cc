@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the load-line model (Eq. 3/4/7/8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "pdn/load_line.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(LoadLine, MatchesEq3And4ByHand)
+{
+    // VD = 1 V, PD = 10 W, AR = 0.5, RLL = 2.5 mOhm.
+    // Ppeak = 20 W -> Ipeak = 20 A -> droop compensation = 50 mV.
+    // PD_LL = 1.05 V * 10 A = 10.5 W.
+    LoadLine ll(milliohms(2.5));
+    auto r = ll.apply(volts(1.0), watts(10.0), 0.5);
+    EXPECT_NEAR(inVolts(r.vLL), 1.05, 1e-12);
+    EXPECT_NEAR(inWatts(r.pLL), 10.5, 1e-12);
+    EXPECT_NEAR(inWatts(r.conductionExcess), 0.5, 1e-12);
+}
+
+TEST(LoadLine, ZeroImpedanceIsFree)
+{
+    LoadLine ll(ohms(0.0));
+    auto r = ll.apply(volts(1.0), watts(10.0), 0.5);
+    EXPECT_DOUBLE_EQ(inWatts(r.conductionExcess), 0.0);
+    EXPECT_DOUBLE_EQ(inVolts(r.vLL), 1.0);
+}
+
+TEST(LoadLine, ZeroPowerIsFree)
+{
+    LoadLine ll(milliohms(2.5));
+    auto r = ll.apply(volts(1.0), watts(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(inWatts(r.pLL), 0.0);
+    EXPECT_DOUBLE_EQ(inWatts(r.conductionExcess), 0.0);
+}
+
+TEST(LoadLine, LowerArCostsMore)
+{
+    // Observation 2: low-AR workloads need a larger Ppeak guardband,
+    // degrading efficiency.
+    LoadLine ll(milliohms(2.5));
+    auto low_ar = ll.apply(volts(1.0), watts(10.0), 0.4);
+    auto high_ar = ll.apply(volts(1.0), watts(10.0), 0.8);
+    EXPECT_GT(low_ar.conductionExcess, high_ar.conductionExcess);
+}
+
+TEST(LoadLine, HigherVoltageRailSuffersLess)
+{
+    // The IVR PDN's key advantage: delivering the same power at
+    // 1.8 V instead of ~1 V quarters the relative I^2*R cost.
+    LoadLine ll(milliohms(1.0));
+    auto low_v = ll.apply(volts(1.0), watts(20.0), 0.56);
+    auto high_v = ll.apply(volts(1.8), watts(20.0), 0.56);
+    EXPECT_GT(low_v.conductionExcess / watts(20.0),
+              2.5 * (high_v.conductionExcess / watts(20.0)));
+}
+
+TEST(LoadLine, ExcessQuadraticInPower)
+{
+    LoadLine ll(milliohms(2.0));
+    auto p1 = ll.apply(volts(1.0), watts(5.0), 0.56);
+    auto p2 = ll.apply(volts(1.0), watts(10.0), 0.56);
+    EXPECT_NEAR(inWatts(p2.conductionExcess),
+                4.0 * inWatts(p1.conductionExcess), 1e-9);
+}
+
+TEST(LoadLine, RejectsBadInputs)
+{
+    EXPECT_THROW(LoadLine(ohms(-1.0)), ConfigError);
+    LoadLine ll(milliohms(1.0));
+    EXPECT_THROW(ll.apply(volts(0.0), watts(1.0), 0.5), ConfigError);
+    EXPECT_THROW(ll.apply(volts(1.0), watts(-1.0), 0.5), ConfigError);
+    EXPECT_THROW(ll.apply(volts(1.0), watts(1.0), 0.0), ConfigError);
+    EXPECT_THROW(ll.apply(volts(1.0), watts(1.0), 1.5), ConfigError);
+}
+
+/** Property sweep over AR: excess is strictly decreasing in AR. */
+class ArSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ArSweep, MonotoneInAr)
+{
+    LoadLine ll(milliohms(2.5));
+    double ar = GetParam();
+    auto a = ll.apply(volts(1.0), watts(10.0), ar);
+    auto b = ll.apply(volts(1.0), watts(10.0), ar + 0.05);
+    EXPECT_GT(a.conductionExcess, b.conductionExcess);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ArSweep,
+                         ::testing::Values(0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8, 0.9));
+
+} // anonymous namespace
+} // namespace pdnspot

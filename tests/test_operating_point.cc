@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the per-TDP operating-point builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/operating_point.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+class OperatingPointTest : public ::testing::Test
+{
+  protected:
+    OperatingPointModel opm;
+};
+
+TEST_F(OperatingPointTest, Table2NominalAnchors)
+{
+    // Table 2: cores 0.6-30 W, LLC 0.5-4 W, GFX 0.58-29.4 W over
+    // the 4-50 W TDP range.
+    EXPECT_NEAR(inWatts(opm.coresNominal(watts(4.0))), 0.60, 1e-9);
+    EXPECT_NEAR(inWatts(opm.coresNominal(watts(50.0))), 30.0, 1e-9);
+    EXPECT_NEAR(inWatts(opm.llcNominal(watts(4.0))), 0.50, 1e-9);
+    EXPECT_NEAR(inWatts(opm.llcNominal(watts(50.0))), 4.0, 1e-9);
+    EXPECT_NEAR(inWatts(opm.gfxNominal(watts(4.0))), 0.58, 1e-9);
+    EXPECT_NEAR(inWatts(opm.gfxNominal(watts(50.0))), 29.4, 1e-9);
+}
+
+TEST_F(OperatingPointTest, BaselineFrequencies)
+{
+    // Sec. 7.1: 0.9 GHz maximum allowed core clock at 4 W TDP;
+    // Table 1: up to 4 GHz cores, 1.2 GHz graphics.
+    EXPECT_NEAR(inGigahertz(opm.coreBaseFrequency(watts(4.0))), 0.9,
+                1e-9);
+    EXPECT_NEAR(inGigahertz(opm.coreBaseFrequency(watts(50.0))), 4.0,
+                1e-9);
+    EXPECT_NEAR(inGigahertz(opm.gfxBaseFrequency(watts(50.0))), 1.2,
+                1e-9);
+}
+
+TEST_F(OperatingPointTest, TjPolicy)
+{
+    // Sec. 7.1: Tj 80 C for 4-8 W TDP, 100 C above.
+    EXPECT_DOUBLE_EQ(opm.defaultTj(watts(4.0)).degrees(), 80.0);
+    EXPECT_DOUBLE_EQ(opm.defaultTj(watts(8.0)).degrees(), 80.0);
+    EXPECT_DOUBLE_EQ(opm.defaultTj(watts(10.0)).degrees(), 100.0);
+    EXPECT_DOUBLE_EQ(opm.defaultTj(watts(50.0)).degrees(), 100.0);
+}
+
+TEST_F(OperatingPointTest, MultiThreadSplitsCoresEvenly)
+{
+    OperatingPointModel::Query q;
+    q.tdp = watts(18.0);
+    PlatformState s = opm.build(q);
+    const DomainState &c0 = s.domain(DomainId::Core0);
+    const DomainState &c1 = s.domain(DomainId::Core1);
+    EXPECT_TRUE(c0.active);
+    EXPECT_TRUE(c1.active);
+    EXPECT_NEAR(inWatts(c0.nominalPower), inWatts(c1.nominalPower),
+                1e-12);
+    EXPECT_EQ(c0.voltage, c1.voltage);
+    EXPECT_FALSE(s.domain(DomainId::GFX).active);
+}
+
+TEST_F(OperatingPointTest, SingleThreadGatesSibling)
+{
+    OperatingPointModel::Query q;
+    q.tdp = watts(18.0);
+    q.type = WorkloadType::SingleThread;
+    PlatformState s = opm.build(q);
+    EXPECT_TRUE(s.domain(DomainId::Core0).active);
+    EXPECT_FALSE(s.domain(DomainId::Core1).active);
+    // The lone core turbos above the multi-thread baseline.
+    EXPECT_GT(s.domain(DomainId::Core0).frequency,
+              opm.coreBaseFrequency(q.tdp));
+}
+
+TEST_F(OperatingPointTest, GraphicsActivatesGfxAtHighVoltage)
+{
+    OperatingPointModel::Query q;
+    q.tdp = watts(18.0);
+    q.type = WorkloadType::Graphics;
+    PlatformState s = opm.build(q);
+    const DomainState &gfx = s.domain(DomainId::GFX);
+    EXPECT_TRUE(gfx.active);
+    EXPECT_GT(gfx.nominalPower, s.domain(DomainId::Core0).nominalPower);
+    // GFX leakage fraction is high (FL = 45%).
+    EXPECT_GT(gfx.leakageFraction, 0.3);
+    // Cores run low and slow; GFX runs at a higher voltage.
+    EXPECT_GT(gfx.voltage, s.domain(DomainId::Core0).voltage);
+}
+
+TEST_F(OperatingPointTest, UncoreIsTdpInvariant)
+{
+    OperatingPointModel::Query q4, q50;
+    q4.tdp = watts(4.0);
+    q50.tdp = watts(50.0);
+    // SA/IO have narrow power ranges; only leakage (via the Tj
+    // policy) differs between TDPs.
+    PlatformState s4 = opm.build(q4);
+    PlatformState s50 = opm.build(q50);
+    EXPECT_NEAR(inWatts(s4.domain(DomainId::SA).nominalPower),
+                inWatts(s50.domain(DomainId::SA).nominalPower), 0.2);
+    EXPECT_NEAR(inWatts(s4.domain(DomainId::IO).nominalPower),
+                inWatts(s50.domain(DomainId::IO).nominalPower), 0.2);
+}
+
+TEST_F(OperatingPointTest, CStateAnchorsMatchPaper)
+{
+    // Sec. 5: C0MIN 2.5 W, C2 1.2 W, C8 0.13 W.
+    auto total = [&](PackageCState cs) {
+        OperatingPointModel::Query q;
+        q.tdp = watts(15.0);
+        q.cstate = cs;
+        return inWatts(opm.build(q).totalNominalPower());
+    };
+    EXPECT_NEAR(total(PackageCState::C0Min), 2.5, 0.05);
+    EXPECT_NEAR(total(PackageCState::C2), 1.2, 0.03);
+    EXPECT_NEAR(total(PackageCState::C8), 0.13, 0.01);
+}
+
+TEST_F(OperatingPointTest, CStateLadderMonotone)
+{
+    double prev = 1e9;
+    for (PackageCState cs : batteryLifeCStates) {
+        OperatingPointModel::Query q;
+        q.tdp = watts(15.0);
+        q.cstate = cs;
+        double p = inWatts(opm.build(q).totalNominalPower());
+        EXPECT_LT(p, prev) << toString(cs);
+        prev = p;
+    }
+}
+
+TEST_F(OperatingPointTest, DeepCStatesGateCompute)
+{
+    OperatingPointModel::Query q;
+    q.tdp = watts(15.0);
+    q.cstate = PackageCState::C8;
+    PlatformState s = opm.build(q);
+    for (DomainId id : computeDomains)
+        EXPECT_FALSE(s.domain(id).active) << toString(id);
+    EXPECT_TRUE(s.domain(DomainId::SA).active);
+}
+
+TEST_F(OperatingPointTest, FreqMultiplierScalesSuperlinearly)
+{
+    OperatingPointModel::Query base, fast;
+    base.tdp = fast.tdp = watts(18.0);
+    fast.freqMultiplier = 1.2;
+    Power p0 = opm.build(base).domain(DomainId::Core0).nominalPower;
+    Power p1 = opm.build(fast).domain(DomainId::Core0).nominalPower;
+    // +20% clock costs more than +20% power (voltage rises too).
+    EXPECT_GT(p1 / p0, 1.25);
+}
+
+TEST_F(OperatingPointTest, FreqMultiplierClampsAtFmax)
+{
+    OperatingPointModel::Query q;
+    q.tdp = watts(50.0); // baseline already at 4 GHz
+    q.freqMultiplier = 3.0;
+    PlatformState s = opm.build(q);
+    EXPECT_NEAR(inGigahertz(s.domain(DomainId::Core0).frequency), 4.0,
+                1e-9);
+}
+
+TEST_F(OperatingPointTest, GraphicsMultiplierTargetsGfx)
+{
+    OperatingPointModel::Query base, fast;
+    base.tdp = fast.tdp = watts(18.0);
+    base.type = fast.type = WorkloadType::Graphics;
+    fast.freqMultiplier = 1.3;
+    PlatformState s0 = opm.build(base);
+    PlatformState s1 = opm.build(fast);
+    EXPECT_GT(s1.domain(DomainId::GFX).nominalPower,
+              s0.domain(DomainId::GFX).nominalPower);
+    EXPECT_NEAR(inWatts(s1.domain(DomainId::Core0).nominalPower),
+                inWatts(s0.domain(DomainId::Core0).nominalPower),
+                1e-9);
+}
+
+TEST_F(OperatingPointTest, ColderTjReducesPower)
+{
+    OperatingPointModel::Query hot, cold;
+    hot.tdp = cold.tdp = watts(18.0);
+    cold.tj = Celsius(50.0);
+    EXPECT_LT(inWatts(opm.build(cold).totalNominalPower()),
+              inWatts(opm.build(hot).totalNominalPower()));
+}
+
+TEST_F(OperatingPointTest, RejectsOutOfRangeQueries)
+{
+    OperatingPointModel::Query q;
+    q.tdp = watts(2.0);
+    EXPECT_THROW(opm.build(q), ConfigError);
+    q.tdp = watts(60.0);
+    EXPECT_THROW(opm.build(q), ConfigError);
+    q.tdp = watts(15.0);
+    q.ar = 0.0;
+    EXPECT_THROW(opm.build(q), ConfigError);
+    q.ar = 0.5;
+    q.freqMultiplier = 0.0;
+    EXPECT_THROW(opm.build(q), ConfigError);
+}
+
+TEST_F(OperatingPointTest, MaxVoltageHelper)
+{
+    OperatingPointModel::Query q;
+    q.tdp = watts(18.0);
+    q.type = WorkloadType::Graphics;
+    PlatformState s = opm.build(q);
+    Voltage vmax = s.maxVoltage(computeDomains);
+    EXPECT_EQ(vmax, s.domain(DomainId::GFX).voltage);
+}
+
+/** Property: nominal powers interpolate monotonically across TDP. */
+class TdpSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TdpSweep, ComputePowerGrowsWithTdp)
+{
+    OperatingPointModel opm;
+    double t = GetParam();
+    OperatingPointModel::Query lo, hi;
+    lo.tdp = watts(t);
+    hi.tdp = watts(t + 4.0);
+    Power plo = opm.build(lo).totalNominalPower();
+    Power phi = opm.build(hi).totalNominalPower();
+    EXPECT_LT(inWatts(plo), inWatts(phi));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TdpSweep,
+                         ::testing::Values(4.0, 8.0, 14.0, 22.0, 31.0,
+                                           40.0, 46.0));
+
+} // anonymous namespace
+} // namespace pdnspot

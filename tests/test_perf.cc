@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the performance models: frequency sensitivity
+ * (Fig. 2a), the linearized perf model, the budget breakdown
+ * (Fig. 2b), and the exact budget solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdnspot/experiments.hh"
+#include "pdnspot/platform.hh"
+#include "perf/budget_breakdown.hh"
+#include "perf/budget_solver.hh"
+#include "perf/freq_sensitivity.hh"
+#include "perf/perf_model.hh"
+#include "workload/spec_cpu2006.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+class PerfTest : public ::testing::Test
+{
+  protected:
+    PerfTest() : platform() {}
+
+    Platform platform;
+};
+
+TEST_F(PerfTest, Fig2aSensitivityAnchors)
+{
+    // Sec. 3.3: ~9 mW of supply power buys +1% core clock at 4 W TDP;
+    // at 50 W the figure rises to hundreds of mW (log-scale Fig. 2a).
+    const FreqSensitivity &s = platform.perfModel().sensitivity();
+    const PdnModel &ivr = platform.pdn(PdnKind::IVR);
+
+    double at_4w = inMilliwatts(s.supplyPerPercent(
+        watts(4.0), WorkloadType::MultiThread, ivr));
+    EXPECT_GT(at_4w, 5.0);
+    EXPECT_LT(at_4w, 14.0);
+
+    double at_50w = inMilliwatts(s.supplyPerPercent(
+        watts(50.0), WorkloadType::MultiThread, ivr));
+    EXPECT_GT(at_50w, 300.0);
+    EXPECT_LT(at_50w, 1100.0);
+}
+
+TEST_F(PerfTest, Fig2aSensitivityMonotoneInTdp)
+{
+    const FreqSensitivity &s = platform.perfModel().sensitivity();
+    double prev = 0.0;
+    for (double tdp : evaluationTdpsW) {
+        double v = inMilliwatts(s.nominalPerPercent(
+            watts(tdp), WorkloadType::MultiThread));
+        EXPECT_GT(v, prev) << tdp;
+        prev = v;
+    }
+}
+
+TEST_F(PerfTest, GraphicsSensitivityCheaperThanCpuAtLowTdp)
+{
+    // Fig. 2a: the GFX curve sits below the CPU curve.
+    const FreqSensitivity &s = platform.perfModel().sensitivity();
+    for (double tdp : {4.0, 18.0, 50.0}) {
+        double cpu = inMilliwatts(s.nominalPerPercent(
+            watts(tdp), WorkloadType::MultiThread));
+        double gfx = inMilliwatts(s.nominalPerPercent(
+            watts(tdp), WorkloadType::Graphics));
+        EXPECT_LT(gfx, cpu) << tdp;
+    }
+}
+
+TEST_F(PerfTest, PaperWorkedExample)
+{
+    // Sec. 3.3: at 4 W, a 5-point ETEE advantage (~250 mW) converts
+    // to roughly +28% clock for a fully-scalable workload.
+    Workload ideal;
+    ideal.name = "ideal";
+    ideal.type = WorkloadType::MultiThread;
+    ideal.ar = 0.56;
+    ideal.scalability = 1.0;
+
+    PerfResult r = platform.perfModel().relativePerformance(
+        platform.pdn(PdnKind::LDO), platform.pdn(PdnKind::IVR),
+        watts(4.0), ideal);
+    EXPECT_GT(r.freqGainPercent, 18.0);
+    EXPECT_LT(r.freqGainPercent, 42.0);
+    EXPECT_NEAR(r.relativePerf, 1.0 + r.freqGainPercent / 100.0,
+                1e-12);
+}
+
+TEST_F(PerfTest, ScalabilityGatesTheGain)
+{
+    Workload poor = specCpu2006().front();  // 433.milc
+    Workload good = specCpu2006().back();   // 416.gamess
+    auto r_poor = platform.perfModel().relativePerformance(
+        platform.pdn(PdnKind::LDO), platform.pdn(PdnKind::IVR),
+        watts(4.0), poor);
+    auto r_good = platform.perfModel().relativePerformance(
+        platform.pdn(PdnKind::LDO), platform.pdn(PdnKind::IVR),
+        watts(4.0), good);
+    EXPECT_GT(r_good.relativePerf, r_poor.relativePerf);
+}
+
+TEST_F(PerfTest, SelfComparisonIsUnity)
+{
+    Workload w = specCpu2006()[10];
+    auto r = platform.perfModel().relativePerformance(
+        platform.pdn(PdnKind::IVR), platform.pdn(PdnKind::IVR),
+        watts(18.0), w);
+    EXPECT_NEAR(r.relativePerf, 1.0, 1e-12);
+    EXPECT_NEAR(inWatts(r.savedSupplyPower), 0.0, 1e-12);
+}
+
+TEST_F(PerfTest, Fig2bBreakdownShapes)
+{
+    // Fig. 2b: CPU share of the budget grows from ~13% at 4 W toward
+    // ~50% at 50 W; PDN loss is substantial everywhere; shares sum
+    // to ~1.
+    std::array<const PdnModel *, 3> pdns = {
+        &platform.pdn(PdnKind::IVR), &platform.pdn(PdnKind::MBVR),
+        &platform.pdn(PdnKind::LDO)};
+
+    BudgetShares low = budgetBreakdown(platform.operatingPoints(),
+                                       pdns, watts(4.0),
+                                       WorkloadType::MultiThread);
+    BudgetShares high = budgetBreakdown(platform.operatingPoints(),
+                                        pdns, watts(50.0),
+                                        WorkloadType::MultiThread);
+
+    EXPECT_LT(low.cpu, 0.25);
+    EXPECT_GT(high.cpu, 0.45);
+    EXPECT_GT(low.pdnLoss, 0.15);
+    EXPECT_GT(high.pdnLoss, 0.2);
+    EXPECT_GT(low.saIo, high.saIo);
+    EXPECT_NEAR(low.saIo + low.cpu + low.llc + low.gfx + low.pdnLoss,
+                1.0, 1e-9);
+    EXPECT_NEAR(high.saIo + high.cpu + high.llc + high.gfx +
+                    high.pdnLoss,
+                1.0, 1e-9);
+}
+
+TEST_F(PerfTest, Fig2bPicksWorstPdn)
+{
+    std::array<const PdnModel *, 3> pdns = {
+        &platform.pdn(PdnKind::IVR), &platform.pdn(PdnKind::MBVR),
+        &platform.pdn(PdnKind::LDO)};
+    // At 4 W the worst (highest-loss) PDN is IVR; at 50 W it is MBVR.
+    EXPECT_EQ(budgetBreakdown(platform.operatingPoints(), pdns,
+                              watts(4.0), WorkloadType::MultiThread)
+                  .worstPdn,
+              "IVR");
+    EXPECT_EQ(budgetBreakdown(platform.operatingPoints(), pdns,
+                              watts(50.0), WorkloadType::MultiThread)
+                  .worstPdn,
+              "MBVR");
+}
+
+TEST_F(PerfTest, BudgetSolverFindsTdpBoundedClock)
+{
+    BudgetSolver solver(platform.operatingPoints());
+    Workload w = powerVirus(WorkloadType::MultiThread);
+    w.ar = 0.56;
+
+    auto sol = solver.solve(platform.pdn(PdnKind::IVR), watts(10.0),
+                            w);
+    if (!sol.clampedAtFmax) {
+        EXPECT_NEAR(inWatts(sol.inputPower), 10.0, 0.05);
+    }
+    EXPECT_GT(sol.freqMultiplier, 0.25);
+}
+
+TEST_F(PerfTest, BudgetSolverRanksPdnsLikeEtee)
+{
+    // A more efficient PDN sustains a higher clock at the same TDP.
+    BudgetSolver solver(platform.operatingPoints());
+    Workload w;
+    w.type = WorkloadType::MultiThread;
+    w.ar = 0.56;
+    w.scalability = 1.0;
+
+    auto ivr = solver.solve(platform.pdn(PdnKind::IVR), watts(6.0), w);
+    auto ldo = solver.solve(platform.pdn(PdnKind::LDO), watts(6.0), w);
+    EXPECT_GT(ldo.freqMultiplier, ivr.freqMultiplier);
+}
+
+TEST_F(PerfTest, BudgetSolverReportsFmaxClamp)
+{
+    // With a huge budget relative to the baseline the solver clamps
+    // at the V-f ceiling.
+    BudgetSolver solver(platform.operatingPoints());
+    Workload w;
+    w.type = WorkloadType::MultiThread;
+    w.ar = 0.56;
+    auto sol = solver.solve(platform.pdn(PdnKind::LDO), watts(50.0),
+                            w);
+    // The 50 W baseline already runs at 4 GHz.
+    EXPECT_TRUE(sol.clampedAtFmax);
+    EXPECT_NEAR(inGigahertz(sol.frequency), 4.0, 1e-9);
+}
+
+} // anonymous namespace
+} // namespace pdnspot

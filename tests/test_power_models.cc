@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the power-side models: V-f curves, leakage scaling,
+ * the Eq. 2 guardband, domains, and package C-states.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/domain.hh"
+#include "power/guardband.hh"
+#include "power/leakage.hh"
+#include "power/package_cstate.hh"
+#include "power/vf_curve.hh"
+#include "power/workload_type.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(VfCurve, CoresCoverPaperBand)
+{
+    // Sec. 2.1: domain voltages typically 0.5-1.1 V over 0.8-4 GHz.
+    VfCurve c = VfCurve::cores();
+    EXPECT_GT(inVolts(c.voltageAt(gigahertz(0.8))), 0.45);
+    EXPECT_LT(inVolts(c.voltageAt(gigahertz(0.8))), 0.65);
+    EXPECT_GT(inVolts(c.voltageAt(gigahertz(4.0))), 1.0);
+    EXPECT_LT(inVolts(c.voltageAt(gigahertz(4.0))), 1.15);
+}
+
+TEST(VfCurve, GraphicsCoverPaperBand)
+{
+    VfCurve g = VfCurve::graphics();
+    EXPECT_GT(inVolts(g.voltageAt(gigahertz(0.1))), 0.45);
+    EXPECT_LT(inVolts(g.voltageAt(gigahertz(1.2))), 0.95);
+}
+
+TEST(VfCurve, MonotoneIncreasing)
+{
+    VfCurve c = VfCurve::cores();
+    Voltage prev;
+    for (double f = 0.8; f <= 4.0; f += 0.1) {
+        Voltage v = c.voltageAt(gigahertz(f));
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(VfCurve, SlopeIncreasesTowardFmax)
+{
+    // Quadratic curve: marginal voltage demand grows with frequency.
+    VfCurve c = VfCurve::cores();
+    EXPECT_GT(c.slopeAt(gigahertz(4.0)), c.slopeAt(gigahertz(0.8)));
+}
+
+TEST(VfCurve, ClampsToLegalRange)
+{
+    VfCurve c = VfCurve::cores();
+    EXPECT_EQ(c.clamp(gigahertz(10.0)), gigahertz(4.0));
+    EXPECT_EQ(c.clamp(gigahertz(0.1)), gigahertz(0.8));
+    EXPECT_EQ(c.voltageAt(gigahertz(10.0)), c.voltageAt(gigahertz(4.0)));
+}
+
+TEST(VfCurve, RejectsBadConstruction)
+{
+    EXPECT_THROW(VfCurve(volts(0.5), 0.1, 0.0, gigahertz(2.0),
+                         gigahertz(1.0)),
+                 ConfigError);
+    EXPECT_THROW(VfCurve(volts(0.0), 0.1, 0.0, gigahertz(1.0),
+                         gigahertz(2.0)),
+                 ConfigError);
+}
+
+TEST(Leakage, VoltageExponentIs2p8)
+{
+    // Sec. 3.1: leakage scales with V^~2.8 (validated on i7-6600U).
+    LeakageModel m;
+    EXPECT_DOUBLE_EQ(m.voltageExponent(), 2.8);
+    EXPECT_NEAR(m.voltageScale(volts(1.0), volts(1.1)),
+                std::pow(1.1, 2.8), 1e-12);
+    EXPECT_NEAR(m.voltageScale(volts(1.0), volts(1.0)), 1.0, 1e-12);
+}
+
+TEST(Leakage, ThermalScaleExponential)
+{
+    LeakageModel m;
+    double up = m.thermalScale(Celsius(80.0), Celsius(110.0));
+    double down = m.thermalScale(Celsius(80.0), Celsius(50.0));
+    EXPECT_NEAR(up * down, 1.0, 1e-12); // symmetric exponent
+    EXPECT_GT(up, 1.5);
+    EXPECT_LT(down, 0.7);
+}
+
+TEST(Leakage, DynamicScalesWithVSquared)
+{
+    EXPECT_NEAR(LeakageModel::dynamicVoltageScale(volts(1.0),
+                                                  volts(1.2)),
+                1.44, 1e-12);
+}
+
+TEST(Leakage, RejectsBadParameters)
+{
+    EXPECT_THROW(LeakageModel(-1.0), ConfigError);
+    EXPECT_THROW(LeakageModel(2.8, 0.0), ConfigError);
+    LeakageModel m;
+    EXPECT_THROW(m.voltageScale(volts(0.0), volts(1.0)), ConfigError);
+}
+
+TEST(Guardband, ZeroGuardbandIsIdentity)
+{
+    GuardbandModel g;
+    Power p = g.apply(watts(2.0), volts(1.0), volts(0.0), 0.22);
+    EXPECT_NEAR(inWatts(p), 2.0, 1e-12);
+}
+
+TEST(Guardband, MatchesEq2ByHand)
+{
+    // PGB = PNOM * [FL*(V'/V)^2.8 + (1-FL)*(V'/V)^2].
+    GuardbandModel g;
+    double ratio = 1.02;
+    double expected =
+        2.0 * (0.45 * std::pow(ratio, 2.8) + 0.55 * ratio * ratio);
+    Power p = g.apply(watts(2.0), volts(1.0), millivolts(20.0), 0.45);
+    EXPECT_NEAR(inWatts(p), expected, 1e-9);
+}
+
+TEST(Guardband, MonotoneInGuardbandVoltage)
+{
+    GuardbandModel g;
+    Power prev = watts(2.0);
+    for (double mv = 5.0; mv <= 50.0; mv += 5.0) {
+        Power p = g.apply(watts(2.0), volts(0.8), millivolts(mv), 0.22);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Guardband, HigherLeakageFractionCostsMore)
+{
+    // Leakage grows faster than V^2, so high-FL domains pay more.
+    GuardbandModel g;
+    Power low_fl = g.apply(watts(2.0), volts(0.8), millivolts(30.0),
+                           0.22);
+    Power high_fl = g.apply(watts(2.0), volts(0.8), millivolts(30.0),
+                            0.45);
+    EXPECT_GT(high_fl, low_fl);
+}
+
+TEST(Guardband, RejectsBadInputs)
+{
+    GuardbandModel g;
+    EXPECT_THROW(g.apply(watts(-1.0), volts(1.0), volts(0.0), 0.2),
+                 ConfigError);
+    EXPECT_THROW(g.apply(watts(1.0), volts(0.0), volts(0.0), 0.2),
+                 ConfigError);
+    EXPECT_THROW(g.apply(watts(1.0), volts(1.0), volts(-0.1), 0.2),
+                 ConfigError);
+    EXPECT_THROW(g.apply(watts(1.0), volts(1.0), volts(0.0), 1.2),
+                 ConfigError);
+}
+
+TEST(Domain, NamesAndClassification)
+{
+    EXPECT_EQ(toString(DomainId::Core0), "Core0");
+    EXPECT_EQ(toString(DomainId::IO), "IO");
+    EXPECT_TRUE(isComputeDomain(DomainId::GFX));
+    EXPECT_TRUE(isComputeDomain(DomainId::LLC));
+    EXPECT_FALSE(isComputeDomain(DomainId::SA));
+    EXPECT_EQ(computeDomains.size() + uncoreDomains.size(),
+              numDomains);
+}
+
+TEST(PackageCState, NamesAndGating)
+{
+    EXPECT_EQ(toString(PackageCState::C0Min), "C0MIN");
+    EXPECT_EQ(toString(PackageCState::C8), "C8");
+    EXPECT_FALSE(computeGated(PackageCState::C0));
+    EXPECT_FALSE(computeGated(PackageCState::C0Min));
+    EXPECT_TRUE(computeGated(PackageCState::C2));
+    EXPECT_TRUE(computeGated(PackageCState::C8));
+}
+
+TEST(WorkloadType, Names)
+{
+    EXPECT_EQ(toString(WorkloadType::SingleThread), "single-thread");
+    EXPECT_EQ(toString(WorkloadType::Graphics), "graphics");
+}
+
+} // anonymous namespace
+} // namespace pdnspot

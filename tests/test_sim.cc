@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the interval simulator and battery model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "pdnspot/experiments.hh"
+#include "pdnspot/platform.hh"
+#include "sim/battery_model.hh"
+#include "sim/interval_simulator.hh"
+#include "workload/trace_generator.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+class SimTest : public ::testing::Test
+{
+  protected:
+    SimTest() : platform() {}
+
+    Platform platform;
+};
+
+TEST_F(SimTest, StaticRunConservesEnergy)
+{
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    PhaseTrace trace = traceFromBatteryProfile(videoPlayback(),
+                                               milliseconds(33.3), 5);
+    SimResult r = sim.run(trace, platform.pdn(PdnKind::IVR));
+    EXPECT_NEAR(inSeconds(r.duration),
+                inSeconds(trace.totalDuration()), 1e-9);
+    EXPECT_GT(r.supplyEnergy, r.nominalEnergy);
+    EXPECT_NEAR(inWatts(r.averagePower()) * inSeconds(r.duration),
+                inJoules(r.supplyEnergy), 1e-9);
+    EXPECT_GT(r.averageEtee(), 0.3);
+    EXPECT_LT(r.averageEtee(), 1.0);
+}
+
+TEST_F(SimTest, OracleBeatsOrMatchesStaticFlexModes)
+{
+    // The oracle picks per phase; it can never do worse than either
+    // fixed mode run through the same trace.
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    TraceGenerator gen(11);
+    PhaseTrace trace = gen.burstyCompute(8, milliseconds(20.0),
+                                         milliseconds(40.0));
+
+    SimResult oracle = sim.runOracle(trace, platform.flexWatts());
+    SimResult ivr_pdn = sim.run(trace, platform.pdn(PdnKind::IVR));
+    EXPECT_LE(inJoules(oracle.supplyEnergy),
+              inJoules(ivr_pdn.supplyEnergy) + 1e-9);
+}
+
+TEST_F(SimTest, OracleResidencyCoversTrace)
+{
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    TraceGenerator gen(13);
+    PhaseTrace trace = gen.randomMix(40, milliseconds(5.0));
+    SimResult r = sim.runOracle(trace, platform.flexWatts());
+    EXPECT_NEAR(inSeconds(r.residency(HybridMode::IvrMode) +
+                          r.residency(HybridMode::LdoMode)),
+                inSeconds(trace.totalDuration()), 1e-9);
+}
+
+TEST_F(SimTest, PmuRunSwitchesAndAccountsOverhead)
+{
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    TraceGenerator gen(17);
+    // Long alternating phases force real mode changes.
+    PhaseTrace trace = gen.burstyCompute(6, milliseconds(60.0),
+                                         milliseconds(80.0));
+
+    PmuConfig cfg;
+    cfg.tdp = watts(15.0);
+    Pmu pmu(cfg, platform.predictor());
+    SimResult r = sim.run(trace, platform.flexWatts(), pmu);
+
+    EXPECT_GT(r.modeSwitches, 0u);
+    EXPECT_NEAR(inMicroseconds(r.switchOverheadTime),
+                94.0 * static_cast<double>(r.modeSwitches), 1e-6);
+    EXPECT_NEAR(inSeconds(r.duration),
+                inSeconds(trace.totalDuration()), 1e-9);
+    EXPECT_GT(r.averageEtee(), 0.3);
+}
+
+TEST_F(SimTest, PmuRunCloseToOracleOnSlowTraces)
+{
+    // With phases much longer than the 10 ms evaluation interval the
+    // predictor should capture nearly all of the oracle's benefit.
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    TraceGenerator gen(19);
+    PhaseTrace trace = gen.burstyCompute(5, milliseconds(200.0),
+                                         milliseconds(200.0));
+
+    PmuConfig cfg;
+    cfg.tdp = watts(15.0);
+    Pmu pmu(cfg, platform.predictor());
+    SimResult predicted = sim.run(trace, platform.flexWatts(), pmu);
+    SimResult oracle = sim.runOracle(trace, platform.flexWatts());
+
+    double overhead = inJoules(predicted.supplyEnergy) /
+                      inJoules(oracle.supplyEnergy);
+    EXPECT_LT(overhead, 1.03);
+    EXPECT_GE(overhead, 0.99);
+}
+
+TEST_F(SimTest, RejectsBadTick)
+{
+    EXPECT_THROW(IntervalSimulator(platform.operatingPoints(),
+                                   watts(15.0), seconds(0.0)),
+                 ConfigError);
+}
+
+TEST(BatteryModelTest, LifeArithmetic)
+{
+    BatteryModel battery(wattHours(50.0));
+    EXPECT_NEAR(battery.lifeHours(watts(5.0)), 10.0, 1e-9);
+    EXPECT_NEAR(inSeconds(battery.life(watts(50.0))), 3600.0, 1e-9);
+}
+
+TEST(BatteryModelTest, RejectsBadInputs)
+{
+    EXPECT_THROW(BatteryModel(joules(0.0)), ConfigError);
+    BatteryModel battery(wattHours(50.0));
+    EXPECT_THROW(battery.life(watts(0.0)), ConfigError);
+}
+
+TEST(BatteryModelTest, MoreEfficientPdnLastsLonger)
+{
+    Platform platform;
+    BatteryModel battery(wattHours(50.0));
+    Power p_ivr = batteryAveragePower(platform, PdnKind::IVR,
+                                      videoPlayback());
+    Power p_flex = batteryAveragePower(platform, PdnKind::FlexWatts,
+                                       videoPlayback());
+    EXPECT_GT(battery.lifeHours(p_flex), battery.lifeHours(p_ivr));
+}
+
+} // anonymous namespace
+} // namespace pdnspot

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the transient (di/dt) voltage-noise model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "pdn/transient.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(Transient, DroopGrowsWithStep)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::IVR));
+    Voltage small = m.droop(amps(5.0), microseconds(0.01)).worst();
+    Voltage large = m.droop(amps(20.0), microseconds(0.01)).worst();
+    EXPECT_GT(large, small);
+    EXPECT_NEAR(inMillivolts(large), 4.0 * inMillivolts(small), 1e-9);
+}
+
+TEST(Transient, SlowerEdgesShrinkDieDroop)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::IVR));
+    DroopEstimate fast = m.droop(amps(10.0), microseconds(0.001));
+    DroopEstimate slow = m.droop(amps(10.0), microseconds(1.0));
+    EXPECT_GT(fast.dieDroop, slow.dieDroop);
+    // The resistive floor does not depend on the edge rate.
+    EXPECT_EQ(fast.resistive, slow.resistive);
+}
+
+TEST(Transient, IvrMoreDidtSensitiveThanMbvr)
+{
+    // Paper Sec. 2.3: the IVR PDN has higher di/dt sensitivity than
+    // MBVR due to the limited on-die decoupling capacitance.
+    TransientModel ivr(DecapStack::forPdn(PdnKind::IVR));
+    TransientModel mbvr(DecapStack::forPdn(PdnKind::MBVR));
+    Current step = amps(15.0);
+    Time edge = microseconds(0.0005); // fast, die-droop dominated
+    EXPECT_GT(ivr.droop(step, edge).dieDroop,
+              mbvr.droop(step, edge).dieDroop);
+    EXPECT_GT(ivr.droop(step, edge).worst(),
+              mbvr.droop(step, edge).worst());
+}
+
+TEST(Transient, FlexWattsSharesIvrDecapStack)
+{
+    // Sec. 6: both hybrid modes share the package and die capacitors
+    // of the baseline IVR.
+    TransientModel flex(DecapStack::forPdn(PdnKind::FlexWatts));
+    TransientModel ivr(DecapStack::forPdn(PdnKind::IVR));
+    DroopEstimate a = flex.droop(amps(10.0), microseconds(0.01));
+    DroopEstimate b = ivr.droop(amps(10.0), microseconds(0.01));
+    EXPECT_EQ(inMillivolts(a.worst()), inMillivolts(b.worst()));
+}
+
+TEST(Transient, GuardbandCheckConsistentWithMaxStep)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::LDO));
+    Voltage gb = millivolts(35.0);
+    Time edge = microseconds(0.01);
+    Current limit = m.maxStep(gb, edge);
+    EXPECT_GT(inAmps(limit), 0.0);
+    EXPECT_TRUE(m.withinGuardband(limit * 0.99, edge, gb));
+    EXPECT_FALSE(m.withinGuardband(limit * 1.05, edge, gb));
+}
+
+TEST(Transient, MbvrAbsorbsLargerStepsAtFastEdges)
+{
+    // More board/package decap -> a bigger absorbable load step at
+    // the same guardband.
+    TransientModel ivr(DecapStack::forPdn(PdnKind::IVR));
+    TransientModel mbvr(DecapStack::forPdn(PdnKind::MBVR));
+    Voltage gb = millivolts(30.0);
+    Time edge = microseconds(0.002);
+    EXPECT_GT(inAmps(mbvr.maxStep(gb, edge)),
+              inAmps(ivr.maxStep(gb, edge)));
+}
+
+TEST(Transient, DieDroopDominatesFastEdges)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::IVR));
+    DroopEstimate e = m.droop(amps(10.0), microseconds(0.0005));
+    EXPECT_GT(e.dieDroop, e.packageDroop);
+    EXPECT_GT(e.packageDroop, e.boardDroop);
+}
+
+TEST(Transient, RejectsBadInputs)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::IVR));
+    EXPECT_THROW(m.droop(amps(-1.0), microseconds(0.01)), ConfigError);
+    EXPECT_THROW(m.droop(amps(1.0), seconds(0.0)), ConfigError);
+    EXPECT_THROW(m.maxStep(volts(0.0), microseconds(0.01)),
+                 ConfigError);
+
+    DecapStack bad = DecapStack::forPdn(PdnKind::IVR);
+    bad.die.capacitanceUf = 0.0;
+    EXPECT_THROW(TransientModel{bad}, ConfigError);
+}
+
+/** Property: worst() is the max level droop plus the IR floor. */
+class TransientSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TransientSweep, WorstIsConsistent)
+{
+    TransientModel m(DecapStack::forPdn(PdnKind::MBVR));
+    DroopEstimate e = m.droop(amps(GetParam()), microseconds(0.01));
+    Voltage max_level =
+        std::max({e.dieDroop, e.packageDroop, e.boardDroop});
+    EXPECT_NEAR(inMillivolts(e.worst()),
+                inMillivolts(max_level + e.resistive), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, TransientSweep,
+                         ::testing::Values(0.5, 2.0, 8.0, 20.0, 45.0));
+
+} // anonymous namespace
+} // namespace pdnspot

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the dimensional-quantity types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(Units, ConstructionAndReadback)
+{
+    EXPECT_DOUBLE_EQ(inVolts(volts(1.8)), 1.8);
+    EXPECT_DOUBLE_EQ(inMillivolts(millivolts(25.0)), 25.0);
+    EXPECT_DOUBLE_EQ(inVolts(millivolts(500.0)), 0.5);
+    EXPECT_DOUBLE_EQ(inAmps(milliamps(250.0)), 0.25);
+    EXPECT_DOUBLE_EQ(inWatts(milliwatts(4500.0)), 4.5);
+    EXPECT_DOUBLE_EQ(inMilliohms(milliohms(2.5)), 2.5);
+    EXPECT_DOUBLE_EQ(inSeconds(microseconds(94.0)), 94e-6);
+    EXPECT_DOUBLE_EQ(inGigahertz(gigahertz(4.0)), 4.0);
+    EXPECT_DOUBLE_EQ(inGigahertz(megahertz(900.0)), 0.9);
+    EXPECT_DOUBLE_EQ(inWattHours(wattHours(50.0)), 50.0);
+    EXPECT_DOUBLE_EQ(inJoules(wattHours(1.0)), 3600.0);
+    EXPECT_DOUBLE_EQ(inSquareMillimetres(squareMillimetres(41.0)), 41.0);
+}
+
+TEST(Units, DefaultIsZero)
+{
+    EXPECT_DOUBLE_EQ(Power().value(), 0.0);
+    EXPECT_DOUBLE_EQ(Voltage().value(), 0.0);
+    EXPECT_DOUBLE_EQ(Time().value(), 0.0);
+}
+
+TEST(Units, AdditionSubtraction)
+{
+    Power p = watts(3.0) + watts(1.5);
+    EXPECT_DOUBLE_EQ(inWatts(p), 4.5);
+    p -= watts(0.5);
+    EXPECT_DOUBLE_EQ(inWatts(p), 4.0);
+    p += watts(1.0);
+    EXPECT_DOUBLE_EQ(inWatts(p), 5.0);
+    EXPECT_DOUBLE_EQ(inWatts(-p), -5.0);
+    EXPECT_DOUBLE_EQ(inWatts(watts(3.0) - watts(5.0)), -2.0);
+}
+
+TEST(Units, ScalarScaling)
+{
+    EXPECT_DOUBLE_EQ(inWatts(watts(2.0) * 3.0), 6.0);
+    EXPECT_DOUBLE_EQ(inWatts(3.0 * watts(2.0)), 6.0);
+    EXPECT_DOUBLE_EQ(inWatts(watts(6.0) / 3.0), 2.0);
+    Power p = watts(2.0);
+    p *= 2.0;
+    EXPECT_DOUBLE_EQ(inWatts(p), 4.0);
+    p /= 4.0;
+    EXPECT_DOUBLE_EQ(inWatts(p), 1.0);
+}
+
+TEST(Units, OhmsLawAlgebra)
+{
+    // V = I * R, P = V * I, I = P / V, R = V / I.
+    Voltage v = amps(2.0) * ohms(0.5);
+    EXPECT_DOUBLE_EQ(inVolts(v), 1.0);
+
+    Power p = volts(1.0) * amps(3.0);
+    EXPECT_DOUBLE_EQ(inWatts(p), 3.0);
+
+    Current i = watts(9.0) / volts(3.0);
+    EXPECT_DOUBLE_EQ(inAmps(i), 3.0);
+
+    Resistance r = volts(1.0) / amps(4.0);
+    EXPECT_DOUBLE_EQ(inMilliohms(r), 250.0);
+}
+
+TEST(Units, EnergyTimeAlgebra)
+{
+    Energy e = watts(2.0) * seconds(3.0);
+    EXPECT_DOUBLE_EQ(inJoules(e), 6.0);
+
+    Power p = joules(6.0) / seconds(2.0);
+    EXPECT_DOUBLE_EQ(inWatts(p), 3.0);
+
+    Time t = joules(10.0) / watts(5.0);
+    EXPECT_DOUBLE_EQ(inSeconds(t), 2.0);
+}
+
+TEST(Units, SameDimensionDivisionIsScalar)
+{
+    double ratio = watts(3.0) / watts(4.0);
+    EXPECT_DOUBLE_EQ(ratio, 0.75);
+    double vr = volts(0.9) / volts(1.8);
+    EXPECT_DOUBLE_EQ(vr, 0.5);
+}
+
+TEST(Units, DimensionlessProductCollapsesToDouble)
+{
+    Frequency f = gigahertz(2.0);
+    Time t = seconds(1e-9);
+    double cycles = f * t;
+    EXPECT_DOUBLE_EQ(cycles, 2.0);
+}
+
+TEST(Units, ScalarOverQuantityInvertsDimension)
+{
+    Frequency f = 1.0 / seconds(0.5);
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+    Time t = 1.0 / hertz(4.0);
+    EXPECT_DOUBLE_EQ(inSeconds(t), 0.25);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(watts(1.0), watts(2.0));
+    EXPECT_GT(volts(1.8), volts(1.1));
+    EXPECT_EQ(watts(1.0), watts(1.0));
+    EXPECT_LE(amps(1.0), amps(1.0));
+    EXPECT_GE(ohms(2.0), ohms(1.0));
+}
+
+TEST(Units, CelsiusDifferences)
+{
+    Celsius a(100.0), b(80.0);
+    EXPECT_DOUBLE_EQ(a - b, 20.0);
+    EXPECT_DOUBLE_EQ(b - a, -20.0);
+    EXPECT_LT(b, a);
+    EXPECT_DOUBLE_EQ(Celsius(50.0).degrees(), 50.0);
+}
+
+TEST(Units, ChainedPdnExpression)
+{
+    // A miniature Eq. 3/4 chain exercising mixed algebra.
+    Voltage vd = volts(1.0);
+    Power pd = watts(10.0);
+    double ar = 0.5;
+    Resistance rll = milliohms(2.5);
+    Power ppeak = pd / ar;
+    Voltage vll = vd + (ppeak / vd) * rll;
+    EXPECT_NEAR(inVolts(vll), 1.05, 1e-12);
+    Power pll = vll * (pd / vd);
+    EXPECT_NEAR(inWatts(pll), 10.5, 1e-12);
+}
+
+} // anonymous namespace
+} // namespace pdnspot
