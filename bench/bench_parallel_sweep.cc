@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Measures the ParallelRunner speedup on the sweep hot path: a dense
+ * ETEE-vs-TDP sweep over all five PDN architectures, serial vs the
+ * shared thread pool, plus parallel ETEE-table characterization.
+ */
+
+#include "bench_util.hh"
+
+#include "common/parallel.hh"
+#include "pdnspot/sweep.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+std::vector<double>
+denseTdps()
+{
+    std::vector<double> tdps;
+    for (double w = 4.0; w <= 50.0; w += 0.25)
+        tdps.push_back(w);
+    return tdps;
+}
+
+void
+sweepSerial(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    ParallelRunner serial(1);
+    SweepEngine engine(pf, serial);
+    std::vector<PdnKind> kinds(allPdnKinds.begin(), allPdnKinds.end());
+    std::vector<double> tdps = denseTdps();
+    for (auto _ : state) {
+        SweepResult r = engine.eteeVsTdp(WorkloadType::MultiThread,
+                                         0.56, tdps, kinds);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+void
+sweepParallel(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    ParallelRunner pool(static_cast<unsigned>(state.range(0)));
+    SweepEngine engine(pf, pool);
+    std::vector<PdnKind> kinds(allPdnKinds.begin(), allPdnKinds.end());
+    std::vector<double> tdps = denseTdps();
+    for (auto _ : state) {
+        SweepResult r = engine.eteeVsTdp(WorkloadType::MultiThread,
+                                         0.56, tdps, kinds);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+void
+eteeTableSerial(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    ParallelRunner serial(1);
+    for (auto _ : state) {
+        EteeTable table(pf.flexWatts(), pf.operatingPoints(),
+                        EteeTable::GridSpec(), serial);
+        benchmark::DoNotOptimize(table);
+    }
+}
+
+void
+eteeTableParallel(benchmark::State &state)
+{
+    const Platform &pf = bench::platform();
+    ParallelRunner pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        EteeTable table(pf.flexWatts(), pf.operatingPoints(),
+                        EteeTable::GridSpec(), pool);
+        benchmark::DoNotOptimize(table);
+    }
+}
+
+BENCHMARK(sweepSerial);
+BENCHMARK(sweepParallel)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(eteeTableSerial);
+BENCHMARK(eteeTableParallel)->Arg(2)->Arg(4)->Arg(8);
+
+void
+printSummary()
+{
+    bench::banner("ParallelRunner sweep fan-out");
+    std::cout << "hardware threads: "
+              << ParallelRunner::global().threadCount() << "\n"
+              << "dense sweep: " << denseTdps().size() << " TDPs x "
+              << allPdnKinds.size() << " PDN kinds\n\n";
+}
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printSummary)

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build with warnings-as-errors,
+# and run every registered test in parallel. This is the tier-1 gate
+# (ROADMAP.md) and is ready to drop into CI as-is.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build-check}"
+
+generator=()
+if command -v ninja >/dev/null 2>&1; then
+    generator=(-G Ninja)
+fi
+
+cmake -B "$build_dir" -S . "${generator[@]}" \
+    -DPDNSPOT_WARNINGS=ON \
+    -DPDNSPOT_WERROR=ON
+
+cmake --build "$build_dir" -j "$(nproc)"
+
+ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure
+
+echo "check.sh: build and all tests green"

@@ -1,0 +1,180 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+/** One forEach invocation's shared state. */
+struct ParallelRunner::Job
+{
+    std::uint64_t gen = 0;           ///< sequence number of this job
+    size_t n = 0;
+    const std::function<void(size_t)> *fn = nullptr;
+    std::atomic<size_t> next{0};     ///< next index to claim
+    size_t finished = 0;             ///< indices completed (under mutex)
+    std::exception_ptr error;        ///< first exception thrown by fn
+};
+
+namespace
+{
+
+// A pool larger than this brings no fan-out benefit for the modeled
+// workloads and risks exhausting OS thread limits.
+constexpr long maxThreads = 256;
+
+unsigned
+defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    if (const char *env = std::getenv("PDNSPOT_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1) {
+            warn("PDNSPOT_THREADS ignored: must be a positive "
+                 "integer");
+            return hw;
+        }
+        if (v > maxThreads) {
+            warn(strprintf("PDNSPOT_THREADS capped at %ld",
+                           maxThreads));
+            v = maxThreads;
+        }
+        return static_cast<unsigned>(v);
+    }
+    return hw;
+}
+
+} // namespace
+
+/**
+ * Claim and run indices until none remain; returns how many this
+ * thread completed. The first exception is stashed in the job; later
+ * indices still run so the finished count always reaches n.
+ */
+size_t
+ParallelRunner::drain(Job &job, std::mutex &mutex)
+{
+    size_t ran = 0;
+    for (;;) {
+        size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            return ran;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        ++ran;
+    }
+}
+
+ParallelRunner::ParallelRunner(unsigned threads)
+    : _threads(threads > 0 ? threads : defaultThreadCount())
+{
+    // With one thread forEach runs inline; no workers to spawn.
+    for (unsigned t = 1; t < _threads; ++t)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ParallelRunner::~ParallelRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ParallelRunner::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [&] {
+                return _stop || (_job && _job->gen != seen);
+            });
+            if (_stop)
+                return;
+            job = _job;
+            seen = job->gen;
+        }
+        size_t ran = drain(*job, _mutex);
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            job->finished += ran;
+            if (job->finished == job->n)
+                _done.notify_all();
+        }
+    }
+}
+
+void
+ParallelRunner::forEach(size_t n,
+                        const std::function<void(size_t)> &fn) const
+{
+    auto serial = [&] {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+    };
+
+    if (n == 0)
+        return;
+    if (_workers.empty() || n == 1) {
+        serial();
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_job) {
+            // Reentrant (nested or concurrent) use: fall back to an
+            // inline serial loop instead of deadlocking the pool.
+            job.reset();
+        } else {
+            job->gen = ++_generation;
+            _job = job;
+        }
+    }
+    if (!job) {
+        serial();
+        return;
+    }
+
+    // The calling thread participates too.
+    _wake.notify_all();
+    size_t ran = drain(*job, _mutex);
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        job->finished += ran;
+        _done.wait(lock, [&] { return job->finished == job->n; });
+        _job.reset();
+    }
+
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+const ParallelRunner &
+ParallelRunner::global()
+{
+    static ParallelRunner runner;
+    return runner;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ParallelRunner: a small fixed-size thread pool with an index-ordered
+ * parallel-for, used to fan sweep and experiment evaluations across
+ * cores.
+ *
+ * Determinism contract: forEach(n, fn) invokes fn(i) exactly once for
+ * every i in [0, n) and map() stores each result at its own index, so
+ * the assembled output is bit-identical to a serial loop regardless of
+ * thread count or scheduling. Workers only race on the work counter,
+ * never on results.
+ */
+
+#ifndef PDNSPOT_COMMON_PARALLEL_HH
+#define PDNSPOT_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdnspot
+{
+
+class ParallelRunner
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks the value of the
+     * PDNSPOT_THREADS environment variable if set, otherwise
+     * std::thread::hardware_concurrency(). A count of 1 runs
+     * everything inline on the calling thread (no pool).
+     */
+    explicit ParallelRunner(unsigned threads = 0);
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner &) = delete;
+    ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+    unsigned threadCount() const { return _threads; }
+
+    /**
+     * Run fn(i) for every i in [0, n); blocks until all complete.
+     * The first exception thrown by any fn is rethrown here after
+     * the remaining indices have drained. Reentrant calls (fn itself
+     * calling forEach, or a second thread while a job is in flight)
+     * degrade to an inline serial loop rather than deadlocking.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn) const;
+
+    /**
+     * Parallel map with deterministic ordering: out[i] == fn(i).
+     * T must be default-constructible.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    map(size_t n, Fn &&fn) const
+    {
+        std::vector<T> out(n);
+        forEach(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Process-wide shared pool (sized per the default policy). */
+    static const ParallelRunner &global();
+
+  private:
+    struct Job;
+
+    static size_t drain(Job &job, std::mutex &mutex);
+    void workerLoop();
+
+    unsigned _threads;
+    std::vector<std::thread> _workers;
+
+    mutable std::mutex _mutex;
+    mutable std::condition_variable _wake;     ///< workers wait here
+    mutable std::condition_variable _done;     ///< forEach waits here
+    mutable std::shared_ptr<Job> _job;         ///< in-flight job
+    mutable std::uint64_t _generation = 0;     ///< job sequence number
+    bool _stop = false;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_COMMON_PARALLEL_HH

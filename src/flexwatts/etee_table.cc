@@ -17,31 +17,30 @@ EteeTable::EteeTable(const FlexWattsPdn &pdn,
 {}
 
 EteeTable::EteeTable(const FlexWattsPdn &pdn,
-                     const OperatingPointModel &opm, GridSpec grid)
+                     const OperatingPointModel &opm, GridSpec grid,
+                     const ParallelRunner &runner)
 {
     if (grid.tdpsW.empty() || grid.ars.empty())
         fatal("EteeTable: empty characterization grid");
 
     // Active-state (C0) curves: one (TDP x AR) grid per mode and
-    // workload type.
+    // workload type. Cells are independent, so each grid is sampled
+    // in parallel with every cell stored at its own index.
     static constexpr std::array<WorkloadType, 3> activeTypes = {
         WorkloadType::SingleThread, WorkloadType::MultiThread,
         WorkloadType::Graphics,
     };
+    size_t na = grid.ars.size();
     for (HybridMode mode : allHybridModes) {
         for (WorkloadType type : activeTypes) {
-            std::vector<double> values;
-            values.reserve(grid.tdpsW.size() * grid.ars.size());
-            for (double tdp_w : grid.tdpsW) {
-                for (double ar : grid.ars) {
+            std::vector<double> values = runner.map<double>(
+                grid.tdpsW.size() * na, [&](size_t cell) {
                     OperatingPointModel::Query q;
-                    q.tdp = watts(tdp_w);
+                    q.tdp = watts(grid.tdpsW[cell / na]);
                     q.type = type;
-                    q.ar = ar;
-                    values.push_back(
-                        pdn.evaluate(opm.build(q), mode).etee());
-                }
-            }
+                    q.ar = grid.ars[cell % na];
+                    return pdn.evaluate(opm.build(q), mode).etee();
+                });
             _active.emplace(
                 std::make_pair(modeIndex(mode), type),
                 BilinearGrid(grid.tdpsW, grid.ars,

@@ -17,6 +17,7 @@
 #include <map>
 
 #include "common/interp.hh"
+#include "common/parallel.hh"
 #include "common/units.hh"
 #include "flexwatts/flexwatts_pdn.hh"
 #include "flexwatts/hybrid_mode.hh"
@@ -43,9 +44,15 @@ class EteeTable
     /** Characterize a FlexWatts PDN over the default grid. */
     EteeTable(const FlexWattsPdn &pdn, const OperatingPointModel &opm);
 
-    /** Characterize a FlexWatts PDN over a custom grid. */
+    /**
+     * Characterize a FlexWatts PDN over a custom grid. Grid cells
+     * are sampled in parallel across `runner`; each cell lands at
+     * its own grid index, so the table is independent of thread
+     * count.
+     */
     EteeTable(const FlexWattsPdn &pdn, const OperatingPointModel &opm,
-              GridSpec grid);
+              GridSpec grid,
+              const ParallelRunner &runner = ParallelRunner::global());
 
     /** ETEE of one mode in an active (C0) state. */
     double lookupActive(HybridMode mode, WorkloadType type, Power tdp,

@@ -29,30 +29,29 @@ batteryAveragePower(const Platform &platform, PdnKind kind,
 
 std::vector<double>
 suiteRelativePerf(const Platform &platform, PdnKind kind, Power tdp,
-                  const std::vector<Workload> &suite)
+                  const std::vector<Workload> &suite,
+                  const ParallelRunner &runner)
 {
     const PdnModel &pdn = platform.pdn(kind);
     const PdnModel &baseline = platform.pdn(PdnKind::IVR);
     const PerfModel &perf = platform.perfModel();
 
-    std::vector<double> rel;
-    rel.reserve(suite.size());
-    for (const Workload &w : suite) {
-        rel.push_back(
-            perf.relativePerformance(pdn, baseline, tdp, w)
-                .relativePerf);
-    }
-    return rel;
+    return runner.map<double>(suite.size(), [&](size_t i) {
+        return perf.relativePerformance(pdn, baseline, tdp, suite[i])
+            .relativePerf;
+    });
 }
 
 double
 suiteMeanRelativePerf(const Platform &platform, PdnKind kind, Power tdp,
-                      const std::vector<Workload> &suite)
+                      const std::vector<Workload> &suite,
+                      const ParallelRunner &runner)
 {
     if (suite.empty())
         fatal("suiteMeanRelativePerf: empty suite");
     double sum = 0.0;
-    for (double r : suiteRelativePerf(platform, kind, tdp, suite))
+    for (double r :
+         suiteRelativePerf(platform, kind, tdp, suite, runner))
         sum += r;
     return sum / static_cast<double>(suite.size());
 }

@@ -9,8 +9,10 @@
 #ifndef PDNSPOT_PDNSPOT_EXPERIMENTS_HH
 #define PDNSPOT_PDNSPOT_EXPERIMENTS_HH
 
+#include <array>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "pdnspot/platform.hh"
 #include "workload/battery_profiles.hh"
 #include "workload/workload.hh"
@@ -35,15 +37,26 @@ Power batteryAveragePower(const Platform &platform, PdnKind kind,
  * Mean relative performance over a suite (Figs. 7/8a/8b): each
  * workload's performance on `kind` divided by its performance on the
  * IVR baseline, averaged arithmetically as the paper does.
+ *
+ * Per-workload evaluations fan out across `runner`; the mean is
+ * accumulated in suite order, so the result is bit-identical to the
+ * serial computation at any thread count.
  */
 double suiteMeanRelativePerf(const Platform &platform, PdnKind kind,
                              Power tdp,
-                             const std::vector<Workload> &suite);
+                             const std::vector<Workload> &suite,
+                             const ParallelRunner &runner =
+                                 ParallelRunner::global());
 
-/** Per-benchmark relative performance for Fig. 7's bars. */
+/**
+ * Per-benchmark relative performance for Fig. 7's bars, in suite
+ * order. Evaluations fan out across `runner`.
+ */
 std::vector<double> suiteRelativePerf(const Platform &platform,
                                       PdnKind kind, Power tdp,
-                                      const std::vector<Workload> &suite);
+                                      const std::vector<Workload> &suite,
+                                      const ParallelRunner &runner =
+                                          ParallelRunner::global());
 
 /** Normalized (to IVR) BOM cost of one PDN at one TDP (Fig. 8d). */
 double normalizedBom(const Platform &platform, PdnKind kind, Power tdp);

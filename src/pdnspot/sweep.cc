@@ -1,5 +1,9 @@
 #include "pdnspot/sweep.hh"
 
+#include <locale>
+#include <sstream>
+#include <utility>
+
 #include "common/logging.hh"
 #include "pdnspot/experiments.hh"
 
@@ -9,27 +13,37 @@ namespace pdnspot
 void
 SweepResult::writeCsv(std::ostream &os) const
 {
-    os << xLabel;
+    // Format through a classic-locale buffer so the CSV always uses
+    // '.' decimal points and no digit grouping, regardless of the
+    // caller's stream or global locale.
+    std::ostringstream buf;
+    buf.imbue(std::locale::classic());
+
+    buf << xLabel;
     for (const SweepSeries &s : series)
-        os << "," << s.label;
-    os << "\n";
-    if (series.empty())
+        buf << "," << s.label;
+    buf << "\n";
+    if (series.empty()) {
+        os << buf.str();
         return;
+    }
     size_t n = series.front().points.size();
     for (const SweepSeries &s : series) {
         if (s.points.size() != n)
             panic("SweepResult: ragged series");
     }
     for (size_t i = 0; i < n; ++i) {
-        os << series.front().points[i].first;
+        buf << series.front().points[i].first;
         for (const SweepSeries &s : series)
-            os << "," << s.points[i].second;
-        os << "\n";
+            buf << "," << s.points[i].second;
+        buf << "\n";
     }
+    os << buf.str();
 }
 
-SweepEngine::SweepEngine(const Platform &platform)
-    : _platform(platform)
+SweepEngine::SweepEngine(const Platform &platform,
+                         const ParallelRunner &runner)
+    : _platform(platform), _runner(runner)
 {}
 
 double
@@ -47,25 +61,46 @@ SweepEngine::eteeAt(PdnKind kind, Power tdp, WorkloadType type,
 }
 
 SweepResult
+SweepEngine::sweep(std::string xLabel, std::string yLabel,
+                   const std::vector<double> &xs,
+                   const std::vector<PdnKind> &kinds,
+                   const std::function<double(PdnKind, double)> &eval)
+    const
+{
+    if (xs.empty() || kinds.empty())
+        fatal("SweepEngine: empty sweep requested");
+
+    // Flatten kind × point into one task list; each result lands at
+    // its own index, so assembly order never depends on scheduling.
+    size_t nx = xs.size();
+    std::vector<double> ys = _runner.map<double>(
+        kinds.size() * nx, [&](size_t t) {
+            return eval(kinds[t / nx], xs[t % nx]);
+        });
+
+    SweepResult r;
+    r.xLabel = std::move(xLabel);
+    r.yLabel = std::move(yLabel);
+    for (size_t k = 0; k < kinds.size(); ++k) {
+        SweepSeries s;
+        s.label = toString(kinds[k]);
+        for (size_t i = 0; i < nx; ++i)
+            s.points.emplace_back(xs[i], ys[k * nx + i]);
+        r.series.push_back(std::move(s));
+    }
+    return r;
+}
+
+SweepResult
 SweepEngine::eteeVsAr(Power tdp, WorkloadType type,
                       const std::vector<double> &ars,
                       const std::vector<PdnKind> &kinds) const
 {
-    if (ars.empty() || kinds.empty())
-        fatal("SweepEngine: empty sweep requested");
-    SweepResult r;
-    r.xLabel = "AR";
-    r.yLabel = "ETEE";
-    for (PdnKind kind : kinds) {
-        SweepSeries s;
-        s.label = toString(kind);
-        for (double ar : ars) {
-            s.points.emplace_back(
-                ar, eteeAt(kind, tdp, type, ar, PackageCState::C0));
-        }
-        r.series.push_back(std::move(s));
-    }
-    return r;
+    return sweep("AR", "ETEE", ars, kinds,
+                 [&](PdnKind kind, double ar) {
+                     return eteeAt(kind, tdp, type, ar,
+                                   PackageCState::C0);
+                 });
 }
 
 SweepResult
@@ -73,86 +108,48 @@ SweepEngine::eteeVsTdp(WorkloadType type, double ar,
                        const std::vector<double> &tdps_w,
                        const std::vector<PdnKind> &kinds) const
 {
-    if (tdps_w.empty() || kinds.empty())
-        fatal("SweepEngine: empty sweep requested");
-    SweepResult r;
-    r.xLabel = "TDP_W";
-    r.yLabel = "ETEE";
-    for (PdnKind kind : kinds) {
-        SweepSeries s;
-        s.label = toString(kind);
-        for (double tdp : tdps_w) {
-            s.points.emplace_back(tdp, eteeAt(kind, watts(tdp), type,
-                                              ar, PackageCState::C0));
-        }
-        r.series.push_back(std::move(s));
-    }
-    return r;
+    return sweep("TDP_W", "ETEE", tdps_w, kinds,
+                 [&](PdnKind kind, double tdp) {
+                     return eteeAt(kind, watts(tdp), type, ar,
+                                   PackageCState::C0);
+                 });
 }
 
 SweepResult
 SweepEngine::eteeVsCState(const std::vector<PdnKind> &kinds) const
 {
-    if (kinds.empty())
-        fatal("SweepEngine: empty sweep requested");
-    SweepResult r;
-    r.xLabel = "cstate_index";
-    r.yLabel = "ETEE";
-    for (PdnKind kind : kinds) {
-        SweepSeries s;
-        s.label = toString(kind);
-        double idx = 0.0;
-        for (PackageCState cs : batteryLifeCStates) {
-            s.points.emplace_back(
-                idx, eteeAt(kind, watts(15.0),
-                            WorkloadType::BatteryLife, 0.3, cs));
-            idx += 1.0;
-        }
-        r.series.push_back(std::move(s));
-    }
-    return r;
+    std::vector<double> indices;
+    for (size_t i = 0; i < batteryLifeCStates.size(); ++i)
+        indices.push_back(static_cast<double>(i));
+    return sweep("cstate_index", "ETEE", indices, kinds,
+                 [&](PdnKind kind, double idx) {
+                     return eteeAt(kind, watts(15.0),
+                                   WorkloadType::BatteryLife, 0.3,
+                                   batteryLifeCStates[static_cast<
+                                       size_t>(idx)]);
+                 });
 }
 
 SweepResult
 SweepEngine::bomVsTdp(const std::vector<double> &tdps_w,
                       const std::vector<PdnKind> &kinds) const
 {
-    if (tdps_w.empty() || kinds.empty())
-        fatal("SweepEngine: empty sweep requested");
-    SweepResult r;
-    r.xLabel = "TDP_W";
-    r.yLabel = "BOM_vs_IVR";
-    for (PdnKind kind : kinds) {
-        SweepSeries s;
-        s.label = toString(kind);
-        for (double tdp : tdps_w) {
-            s.points.emplace_back(
-                tdp, normalizedBom(_platform, kind, watts(tdp)));
-        }
-        r.series.push_back(std::move(s));
-    }
-    return r;
+    return sweep("TDP_W", "BOM_vs_IVR", tdps_w, kinds,
+                 [&](PdnKind kind, double tdp) {
+                     return normalizedBom(_platform, kind,
+                                          watts(tdp));
+                 });
 }
 
 SweepResult
 SweepEngine::areaVsTdp(const std::vector<double> &tdps_w,
                        const std::vector<PdnKind> &kinds) const
 {
-    if (tdps_w.empty() || kinds.empty())
-        fatal("SweepEngine: empty sweep requested");
-    SweepResult r;
-    r.xLabel = "TDP_W";
-    r.yLabel = "area_vs_IVR";
-    for (PdnKind kind : kinds) {
-        SweepSeries s;
-        s.label = toString(kind);
-        for (double tdp : tdps_w) {
-            s.points.emplace_back(
-                tdp, normalizedArea(_platform, kind, watts(tdp)));
-        }
-        r.series.push_back(std::move(s));
-    }
-    return r;
+    return sweep("TDP_W", "area_vs_IVR", tdps_w, kinds,
+                 [&](PdnKind kind, double tdp) {
+                     return normalizedArea(_platform, kind,
+                                           watts(tdp));
+                 });
 }
 
 } // namespace pdnspot

@@ -13,10 +13,12 @@
 #ifndef PDNSPOT_PDNSPOT_SWEEP_HH
 #define PDNSPOT_PDNSPOT_SWEEP_HH
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "pdnspot/platform.hh"
 
 namespace pdnspot
@@ -40,11 +42,32 @@ struct SweepResult
     void writeCsv(std::ostream &os) const;
 };
 
-/** Sweeps platform operating points across the PDN architectures. */
+/**
+ * Sweeps platform operating points across the PDN architectures.
+ *
+ * Every PDN-kind × axis-point evaluation is independent, so sweeps
+ * fan out across the runner's threads; results land at their own
+ * (series, point) index, making the output bit-identical to a serial
+ * sweep regardless of thread count.
+ */
 class SweepEngine
 {
   public:
-    explicit SweepEngine(const Platform &platform);
+    /**
+     * @param runner thread pool to fan evaluations across; defaults
+     * to the process-wide pool. Pass a ParallelRunner(1) to force
+     * serial evaluation.
+     */
+    explicit SweepEngine(const Platform &platform,
+                         const ParallelRunner &runner =
+                             ParallelRunner::global());
+
+    /**
+     * The engine keeps a reference to the runner for its lifetime;
+     * binding a temporary would dangle after this full expression.
+     */
+    SweepEngine(const Platform &platform,
+                const ParallelRunner &&runner) = delete;
 
     /** ETEE vs AR at fixed (TDP, workload type) — a Fig. 4 panel. */
     SweepResult eteeVsAr(Power tdp, WorkloadType type,
@@ -71,7 +94,19 @@ class SweepEngine
     double eteeAt(PdnKind kind, Power tdp, WorkloadType type,
                   double ar, PackageCState cstate) const;
 
+    /**
+     * Shared fan-out: evaluate eval(kind, x) for every kind × x,
+     * in parallel, and assemble one series per kind with points in
+     * axis order.
+     */
+    SweepResult
+    sweep(std::string xLabel, std::string yLabel,
+          const std::vector<double> &xs,
+          const std::vector<PdnKind> &kinds,
+          const std::function<double(PdnKind, double)> &eval) const;
+
     const Platform &_platform;
+    const ParallelRunner &_runner;
 };
 
 } // namespace pdnspot

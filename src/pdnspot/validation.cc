@@ -87,19 +87,22 @@ ValidationHarness::measuredEtee(const PdnModel &pdn,
 
 ValidationStats
 ValidationHarness::validate(const PdnModel &pdn,
-                            const std::vector<ValidationTrace> &set)
-    const
+                            const std::vector<ValidationTrace> &set,
+                            const ParallelRunner &runner) const
 {
     if (set.empty())
         fatal("ValidationHarness: empty validation set");
 
+    std::vector<double> accuracies =
+        runner.map<double>(set.size(), [&](size_t i) {
+            double predicted = predictedEtee(pdn, set[i]);
+            double measured = measuredEtee(pdn, set[i]);
+            return 1.0 - std::abs(measured - predicted) / measured;
+        });
+
     ValidationStats stats;
     double sum = 0.0;
-    for (const ValidationTrace &t : set) {
-        double predicted = predictedEtee(pdn, t);
-        double measured = measuredEtee(pdn, t);
-        double accuracy =
-            1.0 - std::abs(measured - predicted) / measured;
+    for (double accuracy : accuracies) {
         sum += accuracy;
         stats.minAccuracy = std::min(stats.minAccuracy, accuracy);
         stats.maxAccuracy = std::max(stats.maxAccuracy, accuracy);

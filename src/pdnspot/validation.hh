@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/noise.hh"
+#include "common/parallel.hh"
 #include "pdn/pdn_model.hh"
 #include "pdnspot/platform.hh"
 #include "power/package_cstate.hh"
@@ -75,10 +76,16 @@ class ValidationHarness
     double measuredEtee(const PdnModel &pdn,
                         const ValidationTrace &trace) const;
 
-    /** Accuracy = 1 - |measured - predicted| / measured, aggregated. */
+    /**
+     * Accuracy = 1 - |measured - predicted| / measured, aggregated.
+     * Per-trace evaluations fan out across `runner`; aggregation
+     * walks the per-trace results in set order, so the stats are
+     * bit-identical to a serial pass at any thread count.
+     */
     ValidationStats validate(const PdnModel &pdn,
-                             const std::vector<ValidationTrace> &set)
-        const;
+                             const std::vector<ValidationTrace> &set,
+                             const ParallelRunner &runner =
+                                 ParallelRunner::global()) const;
 
   private:
     const Platform &_platform;

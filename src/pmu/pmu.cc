@@ -46,12 +46,24 @@ Pmu::estimateInputs(const TracePhase &phase) const
 void
 Pmu::advanceTo(Time now, const TracePhase &phase)
 {
+    // Simulators reach `now` by summing step times, so a step start
+    // nominally on a cadence boundary can arrive a few ulps early.
+    // Cadence times below are derived multiplicatively from integer
+    // tick counts (one rounding each, never accumulated), so a
+    // nanosecond of slack -- orders of magnitude above residual
+    // drift, orders below the microsecond-scale cadences -- keeps
+    // tick processing independent of the caller's step size.
+    const Time slack = seconds(1e-9);
+    now += slack;
+
     // Sensor cadence: sample the AR proxy while the platform is
     // active; sensors idle in package C-states.
     while (_nextSensorTick <= now) {
         if (phase.cstate == PackageCState::C0)
             _sensor.observe(phase.ar);
-        _nextSensorTick += _config.sensorPeriod;
+        ++_sensorTicks;
+        _nextSensorTick =
+            _config.sensorPeriod * static_cast<double>(_sensorTicks);
     }
 
     // Algorithm 1 cadence.
@@ -62,7 +74,8 @@ Pmu::advanceTo(Time now, const TracePhase &phase)
             _predictor.decide(in, _flow.mode());
         if (decision != _flow.mode())
             _flow.requestSwitch(_nextEval, decision);
-        _nextEval += _config.evalInterval;
+        _nextEval = _config.evalInterval *
+                    static_cast<double>(_evaluations + 1);
     }
 }
 

@@ -78,6 +78,7 @@ class Pmu
     ModeSwitchFlow _flow;
     Time _nextSensorTick;
     Time _nextEval;
+    uint64_t _sensorTicks = 0;   ///< sensor periods processed so far
     uint64_t _evaluations = 0;
 };
 

@@ -93,10 +93,20 @@ IntervalSimulator::run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
     uint64_t switches_before = 0;
     for (size_t pi = 0; pi < trace.phases().size(); ++pi) {
         const TracePhase &phase = trace.phases()[pi];
+        Time phase_start = now;
         Time phase_end = now + phase.duration;
 
+        // Step times are derived from the phase start and an integer
+        // tick count (one rounding each) rather than accumulated, so
+        // `now` does not drift from the nominal boundaries and the
+        // PMU sees cadence ticks at the same times for any tick size.
+        uint64_t tick_idx = 0;
         while (now < phase_end) {
-            Time step = std::min(_tick, phase_end - now);
+            Time next = std::min(
+                phase_start +
+                    _tick * static_cast<double>(tick_idx + 1),
+                phase_end);
+            Time step = next - now;
             pmu.advanceTo(now, phase);
 
             HybridMode mode = pmu.configuredMode();
@@ -121,7 +131,8 @@ IntervalSimulator::run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
                 result.nominalEnergy += e.nominalPower * step;
             }
             result.modeResidency[static_cast<size_t>(mode)] += step;
-            now += step;
+            now = next;
+            ++tick_idx;
         }
     }
 

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the ParallelRunner thread pool and the determinism
+ * contract of the parallel sweep/experiment paths: results must be
+ * bit-identical to the serial computation at any thread count.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "pdnspot/experiments.hh"
+#include "pdnspot/sweep.hh"
+#include "workload/spec_cpu2006.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(ParallelRunnerTest, ForEachVisitsEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        for (size_t n : {size_t(0), size_t(1), size_t(7),
+                         size_t(64), size_t(1000)}) {
+            std::vector<std::atomic<int>> visits(n);
+            runner.forEach(n, [&](size_t i) { visits[i]++; });
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(visits[i].load(), 1)
+                    << "index " << i << " with " << threads
+                    << " threads";
+        }
+    }
+}
+
+TEST(ParallelRunnerTest, MapStoresResultsAtTheirOwnIndex)
+{
+    ParallelRunner runner(8);
+    std::vector<double> out = runner.map<double>(
+        257, [](size_t i) { return static_cast<double>(i) * 1.5; });
+    ASSERT_EQ(out.size(), 257u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<double>(i) * 1.5);
+}
+
+TEST(ParallelRunnerTest, SingleThreadRunsInline)
+{
+    ParallelRunner runner(1);
+    EXPECT_EQ(runner.threadCount(), 1u);
+    std::vector<int> order;
+    runner.forEach(5, [&](size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelRunnerTest, PropagatesExceptionsAfterDraining)
+{
+    ParallelRunner runner(4);
+    std::atomic<size_t> ran{0};
+    EXPECT_THROW(
+        runner.forEach(100,
+                       [&](size_t i) {
+                           ran++;
+                           if (i == 13)
+                               throw std::runtime_error("boom");
+                       }),
+        std::runtime_error);
+    // All indices still executed: no index is abandoned mid-job.
+    EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(ParallelRunnerTest, NestedForEachFallsBackToSerial)
+{
+    ParallelRunner runner(4);
+    std::vector<std::atomic<int>> visits(6 * 5);
+    runner.forEach(6, [&](size_t outer) {
+        runner.forEach(5, [&](size_t inner) {
+            visits[outer * 5 + inner]++;
+        });
+    });
+    for (auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelRunnerTest, ReusableAcrossJobs)
+{
+    ParallelRunner runner(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<size_t> sum{0};
+        runner.forEach(20, [&](size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 190u);
+    }
+}
+
+TEST(ParallelRunnerTest, HonorsThreadsEnvVar)
+{
+    ::setenv("PDNSPOT_THREADS", "3", 1);
+    ParallelRunner runner;
+    EXPECT_EQ(runner.threadCount(), 3u);
+    ::unsetenv("PDNSPOT_THREADS");
+}
+
+TEST(ParallelRunnerTest, RejectsMalformedThreadsEnvVar)
+{
+    ::unsetenv("PDNSPOT_THREADS");
+    unsigned fallback = ParallelRunner(0).threadCount();
+    for (const char *bad : {"8cores", "banana", "-2", "0", ""}) {
+        ::setenv("PDNSPOT_THREADS", bad, 1);
+        EXPECT_EQ(ParallelRunner(0).threadCount(), fallback)
+            << "PDNSPOT_THREADS=" << bad;
+    }
+    ::unsetenv("PDNSPOT_THREADS");
+}
+
+TEST(ParallelRunnerTest, CapsAbsurdThreadsEnvVar)
+{
+    ::setenv("PDNSPOT_THREADS", "9999999999", 1);
+    ParallelRunner runner;
+    EXPECT_EQ(runner.threadCount(), 256u);
+    ::unsetenv("PDNSPOT_THREADS");
+}
+
+TEST(ParallelRunnerTest, DefaultsToAtLeastOneThread)
+{
+    ParallelRunner runner;
+    EXPECT_GE(runner.threadCount(), 1u);
+    EXPECT_GE(ParallelRunner::global().threadCount(), 1u);
+}
+
+/** Sweep determinism: the satellite acceptance test of ISSUE 1. */
+class SweepDeterminismTest : public ::testing::Test
+{
+  protected:
+    static bool
+    identical(const SweepResult &a, const SweepResult &b)
+    {
+        if (a.xLabel != b.xLabel || a.yLabel != b.yLabel ||
+            a.series.size() != b.series.size())
+            return false;
+        for (size_t s = 0; s < a.series.size(); ++s) {
+            if (a.series[s].label != b.series[s].label ||
+                a.series[s].points != b.series[s].points)
+                return false;
+        }
+        return true;
+    }
+
+    Platform platform;
+};
+
+TEST_F(SweepDeterminismTest, SweepsBitIdenticalAcrossThreadCounts)
+{
+    ParallelRunner serial(1);
+    SweepEngine reference(platform, serial);
+
+    std::vector<PdnKind> kinds(allPdnKinds.begin(), allPdnKinds.end());
+    std::vector<double> ars = {0.1, 0.3, 0.56, 0.8, 1.0};
+    std::vector<double> tdps(evaluationTdpsW.begin(),
+                             evaluationTdpsW.end());
+
+    SweepResult ar_ref = reference.eteeVsAr(
+        watts(15.0), WorkloadType::MultiThread, ars, kinds);
+    SweepResult tdp_ref = reference.eteeVsTdp(
+        WorkloadType::SingleThread, 0.56, tdps, kinds);
+    SweepResult cs_ref = reference.eteeVsCState(kinds);
+    SweepResult bom_ref = reference.bomVsTdp(tdps, kinds);
+    SweepResult area_ref = reference.areaVsTdp(tdps, kinds);
+
+    for (unsigned threads : {2u, 8u}) {
+        ParallelRunner pool(threads);
+        SweepEngine engine(platform, pool);
+        EXPECT_TRUE(identical(
+            ar_ref, engine.eteeVsAr(watts(15.0),
+                                    WorkloadType::MultiThread, ars,
+                                    kinds)))
+            << threads << " threads";
+        EXPECT_TRUE(identical(
+            tdp_ref, engine.eteeVsTdp(WorkloadType::SingleThread,
+                                      0.56, tdps, kinds)))
+            << threads << " threads";
+        EXPECT_TRUE(identical(cs_ref, engine.eteeVsCState(kinds)))
+            << threads << " threads";
+        EXPECT_TRUE(identical(bom_ref, engine.bomVsTdp(tdps, kinds)))
+            << threads << " threads";
+        EXPECT_TRUE(identical(area_ref,
+                              engine.areaVsTdp(tdps, kinds)))
+            << threads << " threads";
+    }
+}
+
+TEST_F(SweepDeterminismTest, SuitePerfBitIdenticalAcrossThreadCounts)
+{
+    ParallelRunner serial(1);
+    const std::vector<Workload> &suite = specCpu2006();
+
+    std::vector<double> ref = suiteRelativePerf(
+        platform, PdnKind::FlexWatts, watts(4.0), suite, serial);
+    double mean_ref = suiteMeanRelativePerf(
+        platform, PdnKind::FlexWatts, watts(4.0), suite, serial);
+
+    for (unsigned threads : {2u, 8u}) {
+        ParallelRunner pool(threads);
+        EXPECT_EQ(ref, suiteRelativePerf(platform,
+                                         PdnKind::FlexWatts,
+                                         watts(4.0), suite, pool))
+            << threads << " threads";
+        EXPECT_EQ(mean_ref,
+                  suiteMeanRelativePerf(platform, PdnKind::FlexWatts,
+                                        watts(4.0), suite, pool))
+            << threads << " threads";
+    }
+}
+
+TEST_F(SweepDeterminismTest, CsvExportIdenticalAcrossThreadCounts)
+{
+    std::vector<PdnKind> kinds(allPdnKinds.begin(), allPdnKinds.end());
+    std::vector<double> tdps(evaluationTdpsW.begin(),
+                             evaluationTdpsW.end());
+
+    auto csv = [&](unsigned threads) {
+        ParallelRunner pool(threads);
+        SweepEngine engine(platform, pool);
+        std::ostringstream os;
+        engine.eteeVsTdp(WorkloadType::MultiThread, 0.56, tdps, kinds)
+            .writeCsv(os);
+        return os.str();
+    };
+
+    std::string ref = csv(1);
+    EXPECT_EQ(ref, csv(2));
+    EXPECT_EQ(ref, csv(8));
+}
+
+} // namespace
+} // namespace pdnspot

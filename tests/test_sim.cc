@@ -115,6 +115,150 @@ TEST_F(SimTest, RejectsBadTick)
                  ConfigError);
 }
 
+TEST_F(SimTest, EmptyTraceYieldsZeroResult)
+{
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    PhaseTrace empty("empty", {});
+
+    SimResult s = sim.run(empty, platform.pdn(PdnKind::IVR));
+    EXPECT_EQ(inSeconds(s.duration), 0.0);
+    EXPECT_EQ(inJoules(s.supplyEnergy), 0.0);
+    EXPECT_EQ(inJoules(s.nominalEnergy), 0.0);
+    EXPECT_EQ(inWatts(s.averagePower()), 0.0);
+    EXPECT_EQ(s.averageEtee(), 0.0);
+
+    SimResult o = sim.runOracle(empty, platform.flexWatts());
+    EXPECT_EQ(inSeconds(o.duration), 0.0);
+    EXPECT_EQ(inJoules(o.supplyEnergy), 0.0);
+
+    PmuConfig cfg;
+    cfg.tdp = watts(15.0);
+    Pmu pmu(cfg, platform.predictor());
+    SimResult p = sim.run(empty, platform.flexWatts(), pmu);
+    EXPECT_EQ(inSeconds(p.duration), 0.0);
+    EXPECT_EQ(inJoules(p.supplyEnergy), 0.0);
+    EXPECT_EQ(p.modeSwitches, 0u);
+}
+
+TEST_F(SimTest, SinglePhaseStaticMatchesDirectEvaluation)
+{
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    TracePhase phase;
+    phase.duration = milliseconds(12.5);
+    PhaseTrace trace("one", {phase});
+
+    const PdnModel &pdn = platform.pdn(PdnKind::MBVR);
+    SimResult r = sim.run(trace, pdn);
+
+    OperatingPointModel::Query q;
+    q.tdp = watts(15.0);
+    q.cstate = phase.cstate;
+    q.type = phase.type;
+    q.ar = phase.ar;
+    EteeResult e = pdn.evaluate(platform.operatingPoints().build(q));
+
+    EXPECT_NEAR(inSeconds(r.duration), 12.5e-3, 1e-12);
+    EXPECT_NEAR(inJoules(r.supplyEnergy),
+                inWatts(e.inputPower) * 12.5e-3, 1e-12);
+    EXPECT_NEAR(inJoules(r.nominalEnergy),
+                inWatts(e.nominalPower) * 12.5e-3, 1e-12);
+    EXPECT_NEAR(r.averageEtee(), e.etee(), 1e-12);
+}
+
+TEST_F(SimTest, SinglePhasePmuRunCoversTraceWithAtMostOneSwitch)
+{
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    TracePhase phase;
+    phase.duration = milliseconds(50.0);
+    PhaseTrace trace("one", {phase});
+
+    PmuConfig cfg;
+    cfg.tdp = watts(15.0);
+    Pmu pmu(cfg, platform.predictor());
+    SimResult r = sim.run(trace, platform.flexWatts(), pmu);
+
+    EXPECT_NEAR(inSeconds(r.duration), 50.0e-3, 1e-12);
+    EXPECT_NEAR(inSeconds(r.residency(HybridMode::IvrMode) +
+                          r.residency(HybridMode::LdoMode)),
+                50.0e-3, 1e-12);
+    // A homogeneous phase gives the predictor at most one reason to
+    // change its mind: the initial configuration.
+    EXPECT_LE(r.modeSwitches, 1u);
+}
+
+TEST_F(SimTest, SwitchEnergyChargedExactlyOncePerSwitch)
+{
+    IntervalSimulator sim(platform.operatingPoints(), watts(15.0));
+    TraceGenerator gen(17);
+    PhaseTrace trace = gen.burstyCompute(6, milliseconds(60.0),
+                                         milliseconds(80.0));
+
+    PmuConfig cfg;
+    cfg.tdp = watts(15.0);
+    Pmu pmu(cfg, platform.predictor());
+    SimResult r = sim.run(trace, platform.flexWatts(), pmu);
+    ASSERT_GT(r.modeSwitches, 0u);
+
+    // Each switch idles through one 94 us C6 flow at the flow power
+    // -- no more, no less, independent of how many simulator ticks
+    // overlap the flow window.
+    const ModeSwitchParams &p = pmu.switchFlow().params();
+    double n = static_cast<double>(r.modeSwitches);
+    EXPECT_NEAR(inMicroseconds(r.switchOverheadTime),
+                n * inMicroseconds(p.totalLatency()), 1e-6);
+    EXPECT_NEAR(inJoules(r.switchOverheadEnergy),
+                n * inWatts(p.flowPower) *
+                    inSeconds(p.totalLatency()),
+                1e-12);
+}
+
+TEST_F(SimTest, SwitchAccountingIsTickResolutionInvariant)
+{
+    // If the simulator double-charged (or skipped) flow energy at
+    // tick boundaries, refining the tick would change the totals.
+    // Phase boundaries are multiples of the sensor (1 ms) and eval
+    // (10 ms) cadences and of both ticks, so the PMU sees identical
+    // sensor histories and makes identical decisions in both runs --
+    // any residual difference would come from energy accounting.
+    PhaseTrace trace("aligned-bursts", {});
+    for (int i = 0; i < 6; ++i) {
+        TracePhase work;
+        work.duration = milliseconds(60.0);
+        work.cstate = PackageCState::C0;
+        work.type = WorkloadType::MultiThread;
+        work.ar = 0.9;
+        trace.append(work);
+
+        TracePhase idle;
+        idle.duration = milliseconds(80.0);
+        idle.cstate = PackageCState::C8;
+        idle.type = WorkloadType::BatteryLife;
+        idle.ar = 0.3;
+        trace.append(idle);
+    }
+
+    auto runWithTick = [&](Time tick) {
+        IntervalSimulator sim(platform.operatingPoints(),
+                              watts(15.0), tick);
+        PmuConfig cfg;
+        cfg.tdp = watts(15.0);
+        Pmu pmu(cfg, platform.predictor());
+        return sim.run(trace, platform.flexWatts(), pmu);
+    };
+
+    SimResult coarse = runWithTick(microseconds(500.0));
+    SimResult fine = runWithTick(microseconds(10.0));
+
+    ASSERT_GT(coarse.modeSwitches, 0u);
+    EXPECT_EQ(coarse.modeSwitches, fine.modeSwitches);
+    EXPECT_NEAR(inJoules(coarse.supplyEnergy),
+                inJoules(fine.supplyEnergy), 1e-9);
+    EXPECT_NEAR(inJoules(coarse.nominalEnergy),
+                inJoules(fine.nominalEnergy), 1e-9);
+    EXPECT_NEAR(inJoules(coarse.switchOverheadEnergy),
+                inJoules(fine.switchOverheadEnergy), 1e-12);
+}
+
 TEST(BatteryModelTest, LifeArithmetic)
 {
     BatteryModel battery(wattHours(50.0));

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Focused coverage for SweepResult::writeCsv: header layout, column
+ * alignment across series, and locale-independent number formatting.
+ */
+
+#include <locale>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "pdnspot/sweep.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+SweepResult
+twoSeriesResult()
+{
+    SweepResult r;
+    r.xLabel = "TDP_W";
+    r.yLabel = "ETEE";
+    r.series.push_back({"IVR", {{4.0, 0.75}, {15.0, 0.8}}});
+    r.series.push_back({"FlexWatts", {{4.0, 0.85}, {15.0, 0.82}}});
+    return r;
+}
+
+TEST(SweepCsvTest, HeaderRowIsXLabelThenSeriesLabels)
+{
+    std::ostringstream os;
+    twoSeriesResult().writeCsv(os);
+    auto rows = lines(os.str());
+    ASSERT_GE(rows.size(), 1u);
+    EXPECT_EQ(rows[0], "TDP_W,IVR,FlexWatts");
+}
+
+TEST(SweepCsvTest, EveryRowHasOneColumnPerSeriesPlusX)
+{
+    std::ostringstream os;
+    twoSeriesResult().writeCsv(os);
+    auto rows = lines(os.str());
+    ASSERT_EQ(rows.size(), 3u); // header + 2 points
+    for (const std::string &row : rows) {
+        size_t commas = 0;
+        for (char c : row)
+            commas += c == ',';
+        EXPECT_EQ(commas, 2u) << row;
+    }
+    EXPECT_EQ(rows[1], "4,0.75,0.85");
+    EXPECT_EQ(rows[2], "15,0.8,0.82");
+}
+
+TEST(SweepCsvTest, EmptySeriesListEmitsHeaderOnly)
+{
+    SweepResult r;
+    r.xLabel = "AR";
+    r.yLabel = "ETEE";
+    std::ostringstream os;
+    r.writeCsv(os);
+    EXPECT_EQ(os.str(), "AR\n");
+}
+
+TEST(SweepCsvTest, RaggedSeriesIsAnError)
+{
+    // Series of unequal length cannot be aligned into one x column;
+    // writeCsv must refuse rather than emit a misaligned table.
+    SweepResult r = twoSeriesResult();
+    r.series[1].points.pop_back();
+    std::ostringstream os;
+    EXPECT_THROW(r.writeCsv(os), ModelError);
+}
+
+/** numpunct facet emulating a comma-decimal locale (e.g. de_DE). */
+class CommaDecimal : public std::numpunct<char>
+{
+  protected:
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(SweepCsvTest, FormattingIgnoresStreamLocale)
+{
+    SweepResult r;
+    r.xLabel = "x";
+    r.series.push_back({"y", {{1234.5, 0.25}}});
+
+    std::ostringstream os;
+    os.imbue(std::locale(os.getloc(), new CommaDecimal));
+    r.writeCsv(os);
+    auto rows = lines(os.str());
+    ASSERT_EQ(rows.size(), 2u);
+    // '.' decimal point, no digit grouping, ',' only as separator.
+    EXPECT_EQ(rows[1], "1234.5,0.25");
+}
+
+TEST(SweepCsvTest, FormattingIgnoresGlobalLocale)
+{
+    std::locale saved = std::locale::global(
+        std::locale(std::locale::classic(), new CommaDecimal));
+    SweepResult r;
+    r.xLabel = "x";
+    r.series.push_back({"y", {{1234.5, 0.25}}});
+    std::ostringstream os;
+    r.writeCsv(os);
+    std::locale::global(saved);
+
+    auto rows = lines(os.str());
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1], "1234.5,0.25");
+}
+
+} // namespace
+} // namespace pdnspot

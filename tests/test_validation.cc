@@ -100,6 +100,24 @@ TEST_F(ValidationTest, LargerNoiseLowersAccuracy)
     EXPECT_LT(loose.avgAccuracy, precise.avgAccuracy);
 }
 
+TEST_F(ValidationTest, StatsBitIdenticalAcrossThreadCounts)
+{
+    auto set = harness.makeTraceSet(200);
+    ParallelRunner serial(1);
+    ValidationStats ref =
+        harness.validate(platform.pdn(PdnKind::FlexWatts), set,
+                         serial);
+    for (unsigned threads : {2u, 8u}) {
+        ParallelRunner pool(threads);
+        ValidationStats stats = harness.validate(
+            platform.pdn(PdnKind::FlexWatts), set, pool);
+        EXPECT_EQ(stats.avgAccuracy, ref.avgAccuracy);
+        EXPECT_EQ(stats.minAccuracy, ref.minAccuracy);
+        EXPECT_EQ(stats.maxAccuracy, ref.maxAccuracy);
+        EXPECT_EQ(stats.traces, ref.traces);
+    }
+}
+
 TEST_F(ValidationTest, RejectsBadArguments)
 {
     EXPECT_THROW(ValidationHarness(platform, 1, 0.5), ConfigError);
