@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Benchmarks the campaign engine: one trace x platform x PDN batch
+ * simulation (the workhorse behind the evaluation cross-products),
+ * serial vs the shared thread pool, plus the per-cell cost of the
+ * three simulation modes.
+ */
+
+#include "bench_util.hh"
+
+#include "campaign/campaign_engine.hh"
+#include "common/table.hh"
+#include "workload/trace_generator.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+CampaignSpec
+smallSpec(SimMode mode)
+{
+    CampaignSpec spec;
+    TraceGenerator gen(7);
+    spec.traces.push_back(gen.burstyCompute(4, milliseconds(10.0),
+                                            milliseconds(30.0)));
+    spec.traces.push_back(gen.randomMix(16, milliseconds(10.0)));
+    spec.platforms = {fanlessTabletPreset(), ultraportablePreset()};
+    spec.pdns.assign(allPdnKinds.begin(), allPdnKinds.end());
+    spec.mode = mode;
+    return spec;
+}
+
+void
+printFigure()
+{
+    bench::banner("Campaign engine - 2 traces x 2 platforms x 5 PDNs "
+                  "(PMU mode)");
+    CampaignResult result =
+        CampaignEngine().run(smallSpec(SimMode::Pmu));
+    BatteryModel battery(wattHours(50.0));
+    AsciiTable t({"PDN", "supply (J)", "mean ETEE", "switches"});
+    for (const CampaignPdnSummary &s :
+         result.summarizeByPdn(battery)) {
+        t.addRow({toString(s.pdn),
+                  AsciiTable::num(inJoules(s.supplyEnergy), 3),
+                  AsciiTable::percent(s.meanEtee(), 1),
+                  std::to_string(s.modeSwitches)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+campaignSerial(benchmark::State &state)
+{
+    ParallelRunner serial(1);
+    CampaignEngine engine(serial);
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    for (auto _ : state) {
+        CampaignResult r = engine.run(spec);
+        benchmark::DoNotOptimize(r.cells.data());
+    }
+}
+
+void
+campaignPooled(benchmark::State &state)
+{
+    CampaignEngine engine;
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    for (auto _ : state) {
+        CampaignResult r = engine.run(spec);
+        benchmark::DoNotOptimize(r.cells.data());
+    }
+}
+
+void
+campaignMode(benchmark::State &state)
+{
+    CampaignEngine engine;
+    CampaignSpec spec =
+        smallSpec(static_cast<SimMode>(state.range(0)));
+    for (auto _ : state) {
+        CampaignResult r = engine.run(spec);
+        benchmark::DoNotOptimize(r.cells.data());
+    }
+}
+
+BENCHMARK(campaignSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(campaignPooled)->Unit(benchmark::kMillisecond);
+BENCHMARK(campaignMode)
+    ->Arg(static_cast<int>(SimMode::Static))
+    ->Arg(static_cast<int>(SimMode::Pmu))
+    ->Arg(static_cast<int>(SimMode::Oracle))
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+PDNSPOT_BENCH_MAIN(printFigure)

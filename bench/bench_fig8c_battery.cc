@@ -7,6 +7,7 @@
 
 #include "bench_util.hh"
 
+#include "campaign/campaign_engine.hh"
 #include "common/table.hh"
 #include "sim/battery_model.hh"
 
@@ -15,23 +16,41 @@ namespace
 
 using namespace pdnspot;
 
+/** The four battery-life profiles x reference platform x five PDNs. */
+CampaignResult
+batteryCampaign()
+{
+    CampaignSpec spec;
+    for (const BatteryProfile &profile : batteryLifeWorkloads())
+        spec.traces.push_back(traceFromBatteryProfile(
+            profile, milliseconds(33.3), 4));
+    spec.platforms = {ultraportablePreset()};
+    spec.pdns.assign(allPdnKinds.begin(), allPdnKinds.end());
+    spec.mode = SimMode::Static;
+    return CampaignEngine().run(spec);
+}
+
 void
 printFigure()
 {
-    const Platform &pf = bench::platform();
+    CampaignResult result = batteryCampaign();
+    const std::string pf = ultraportablePreset().name;
+    auto avg = [&](const std::string &trace, PdnKind kind) {
+        return result.cell(trace, pf, kind).sim.averagePower();
+    };
+
     bench::banner("Fig. 8(c) - battery-life workload average power "
                   "(IVR = 100%)");
 
     AsciiTable t({"Workload", "IVR", "MBVR", "LDO", "I+MBVR",
                   "FlexWatts"});
     for (const BatteryProfile &profile : batteryLifeWorkloads()) {
-        double base =
-            inWatts(batteryAveragePower(pf, PdnKind::IVR, profile));
+        std::string trace = profile.name + "-trace";
+        double base = inWatts(avg(trace, PdnKind::IVR));
         std::vector<std::string> row = {profile.name};
         for (PdnKind kind : allPdnKinds) {
             row.push_back(AsciiTable::percent(
-                inWatts(batteryAveragePower(pf, kind, profile)) / base,
-                1));
+                inWatts(avg(trace, kind)) / base, 1));
         }
         t.addRow(row);
     }
@@ -41,10 +60,10 @@ printFigure()
     BatteryModel battery(wattHours(50.0));
     AsciiTable life({"Workload", "IVR", "FlexWatts", "gain"});
     for (const BatteryProfile &profile : batteryLifeWorkloads()) {
-        double h_ivr = battery.lifeHours(
-            batteryAveragePower(pf, PdnKind::IVR, profile));
-        double h_flex = battery.lifeHours(
-            batteryAveragePower(pf, PdnKind::FlexWatts, profile));
+        std::string trace = profile.name + "-trace";
+        double h_ivr = battery.lifeHours(avg(trace, PdnKind::IVR));
+        double h_flex =
+            battery.lifeHours(avg(trace, PdnKind::FlexWatts));
         life.addRow({profile.name, AsciiTable::num(h_ivr, 1),
                      AsciiTable::num(h_flex, 1),
                      AsciiTable::percent(h_flex / h_ivr - 1.0, 1)});

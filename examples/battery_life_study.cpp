@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "campaign/campaign_engine.hh"
 #include "common/table.hh"
 #include "pdnspot/experiments.hh"
 #include "pdnspot/platform.hh"
@@ -23,17 +24,35 @@ main(int argc, char **argv)
 {
     double battery_wh = argc > 1 ? std::atof(argv[1]) : 50.0;
 
-    Platform platform;
+    // The same preset drives both the campaign below and the frame
+    // anatomy table, so every number in this study shares one
+    // platform configuration.
+    Platform platform(ultraportablePreset());
     BatteryModel battery(wattHours(battery_wh));
+
+    // One campaign covers the whole table: the four battery-life
+    // profiles (as frame traces) x the reference platform x all five
+    // PDNs, simulated statically.
+    CampaignSpec spec;
+    for (const BatteryProfile &profile : batteryLifeWorkloads())
+        spec.traces.push_back(traceFromBatteryProfile(
+            profile, milliseconds(33.3), 4));
+    spec.platforms = {ultraportablePreset()};
+    spec.pdns.assign(allPdnKinds.begin(), allPdnKinds.end());
+    spec.mode = SimMode::Static;
+    CampaignResult result = CampaignEngine().run(spec);
+    const std::string &pfName = spec.platforms.front().name;
 
     std::cout << "Battery life with a " << battery_wh
               << " Wh pack (hours)\n\n";
     AsciiTable life({"Workload", "IVR", "MBVR", "LDO", "I+MBVR",
                      "FlexWatts"});
     for (const BatteryProfile &profile : batteryLifeWorkloads()) {
+        std::string trace = profile.name + "-trace";
         std::vector<std::string> row = {profile.name};
         for (PdnKind kind : allPdnKinds) {
-            Power avg = batteryAveragePower(platform, kind, profile);
+            Power avg = result.cell(trace, pfName, kind)
+                            .sim.averagePower();
             row.push_back(AsciiTable::num(battery.lifeHours(avg), 1));
         }
         life.addRow(row);
@@ -64,10 +83,11 @@ main(int argc, char **argv)
     }
     anatomy.print(std::cout);
 
-    Power p_ivr = batteryAveragePower(platform, PdnKind::IVR,
-                                      videoPlayback());
-    Power p_flex = batteryAveragePower(platform, PdnKind::FlexWatts,
-                                       videoPlayback());
+    const std::string video = videoPlayback().name + "-trace";
+    Power p_ivr = result.cell(video, pfName, PdnKind::IVR)
+                      .sim.averagePower();
+    Power p_flex = result.cell(video, pfName, PdnKind::FlexWatts)
+                       .sim.averagePower();
     std::cout << "\nFlexWatts cuts video-playback average power by "
               << AsciiTable::percent(1.0 - p_flex / p_ivr, 1)
               << " vs the IVR PDN ("

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full verification pass: configure, build with warnings-as-errors,
-# and run every registered test in parallel. This is the tier-1 gate
-# (ROADMAP.md) and is ready to drop into CI as-is.
+# run every registered test in parallel, then repeat the test suite
+# under AddressSanitizer + UBSan (the threaded campaign/sweep paths
+# are sanitizer-gated). This is the tier-1 gate (ROADMAP.md) and is
+# ready to drop into CI as-is.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-check)
+# Usage: scripts/check.sh [build-dir]   (default: build-check; the
+# sanitizer pass uses <build-dir>-asan)
 
 set -euo pipefail
 
@@ -23,4 +26,19 @@ cmake --build "$build_dir" -j "$(nproc)"
 
 ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure
 
-echo "check.sh: build and all tests green"
+# Second pass: the whole test suite under ASan+UBSan. Bench binaries
+# add nothing here (they are not registered tests), so skip them to
+# halve the sanitized build.
+asan_dir="${build_dir}-asan"
+
+cmake -B "$asan_dir" -S . "${generator[@]}" \
+    -DPDNSPOT_WARNINGS=ON \
+    -DPDNSPOT_WERROR=ON \
+    -DPDNSPOT_SANITIZE=ON \
+    -DPDNSPOT_BUILD_BENCH=OFF
+
+cmake --build "$asan_dir" -j "$(nproc)"
+
+ctest --test-dir "$asan_dir" -j "$(nproc)" --output-on-failure
+
+echo "check.sh: build, tests and sanitizer pass green"

@@ -1,0 +1,120 @@
+#include "campaign/campaign_engine.hh"
+
+#include <atomic>
+#include <memory>
+
+#include "common/logging.hh"
+#include "pmu/pmu.hh"
+#include "sim/interval_simulator.hh"
+
+namespace pdnspot
+{
+
+namespace
+{
+
+/**
+ * One worker thread's current Platform. Campaign runs are stamped
+ * with a process-unique id so a slot left over from an earlier
+ * campaign (worker threads outlive runs) is never mistaken for this
+ * run's platform. At most one Platform is retained per worker; it is
+ * replaced on the next rebuild and reclaimed at thread exit.
+ */
+struct ThreadPlatformSlot
+{
+    uint64_t runId = 0;
+    size_t configIdx = 0;
+    std::unique_ptr<Platform> platform;
+};
+
+const Platform &
+threadPlatform(uint64_t run_id, const CampaignSpec &spec,
+               size_t config_idx)
+{
+    thread_local ThreadPlatformSlot slot;
+    if (!slot.platform || slot.runId != run_id ||
+        slot.configIdx != config_idx) {
+        slot.platform =
+            std::make_unique<Platform>(spec.platforms[config_idx]);
+        slot.runId = run_id;
+        slot.configIdx = config_idx;
+    }
+    return *slot.platform;
+}
+
+SimResult
+simulateCell(const Platform &platform, const PhaseTrace &trace,
+             PdnKind kind, const CampaignSpec &spec)
+{
+    IntervalSimulator sim(platform.operatingPoints(),
+                          platform.config().tdp, spec.tick);
+    if (kind == PdnKind::FlexWatts) {
+        if (spec.mode == SimMode::Oracle)
+            return sim.runOracle(trace, platform.flexWatts());
+        if (spec.mode == SimMode::Pmu) {
+            PmuConfig cfg;
+            cfg.tdp = platform.config().tdp;
+            Pmu pmu(cfg, platform.predictor());
+            return sim.run(trace, platform.flexWatts(), pmu);
+        }
+    }
+    // Non-hybrid PDNs have no mode logic: every mode simulates them
+    // statically.
+    return sim.run(trace, platform.pdn(kind));
+}
+
+} // namespace
+
+CampaignEngine::CampaignEngine(const ParallelRunner &runner)
+    : _runner(runner)
+{}
+
+CampaignResult
+CampaignEngine::run(const CampaignSpec &spec) const
+{
+    spec.validate();
+
+    size_t nTraces = spec.traces.size();
+    size_t nPdns = spec.pdns.size();
+    size_t cellsPerPlatform = nTraces * nPdns;
+    size_t n = spec.cellCount();
+
+    static std::atomic<uint64_t> runCounter{0};
+    uint64_t runId = ++runCounter;
+
+    // Platform-major flattening keeps each worker's platform axis
+    // non-decreasing under monotonic range claims, bounding Platform
+    // rebuilds; each SimResult lands at its own index, making the
+    // assembled result independent of scheduling.
+    std::vector<SimResult> sims(n);
+    _runner.forEachChunked(
+        n, _runner.suggestedGrain(n), [&](size_t begin, size_t end) {
+            for (size_t t = begin; t < end; ++t) {
+                size_t p = t / cellsPerPlatform;
+                size_t rest = t % cellsPerPlatform;
+                const Platform &platform =
+                    threadPlatform(runId, spec, p);
+                sims[t] = simulateCell(platform,
+                                       spec.traces[rest / nPdns],
+                                       spec.pdns[rest % nPdns],
+                                       spec);
+            }
+        });
+
+    CampaignResult result;
+    result.cells.reserve(n);
+    for (size_t t = 0; t < n; ++t) {
+        size_t p = t / cellsPerPlatform;
+        size_t rest = t % cellsPerPlatform;
+        CampaignCellResult c;
+        c.trace = spec.traces[rest / nPdns].name();
+        c.platform = spec.platforms[p].name;
+        c.pdn = spec.pdns[rest % nPdns];
+        c.mode = spec.mode;
+        c.sim = sims[t];
+        result.cells.push_back(std::move(c));
+    }
+    return result;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CampaignEngine: executes a CampaignSpec's trace × platform × PDN
+ * cross-product across the ParallelRunner thread pool.
+ *
+ * Cells are flattened platform-major and claimed in chunked ranges
+ * (ParallelRunner::forEachChunked). Each worker lazily constructs a
+ * private Platform for the config it is currently simulating —
+ * Platform construction (ETEE characterization) is the expensive
+ * step, and the monotonic range claims mean each worker sees the
+ * platform axis in non-decreasing order, so it rebuilds at most once
+ * per platform config per campaign.
+ *
+ * Determinism contract: every cell's SimResult depends only on its
+ * (trace, platform config, pdn, mode, tick) inputs and lands at its
+ * own index, so a CampaignResult is bit-identical to the serial run
+ * at any thread count.
+ */
+
+#ifndef PDNSPOT_CAMPAIGN_CAMPAIGN_ENGINE_HH
+#define PDNSPOT_CAMPAIGN_CAMPAIGN_ENGINE_HH
+
+#include "campaign/campaign_result.hh"
+#include "campaign/campaign_spec.hh"
+#include "common/parallel.hh"
+
+namespace pdnspot
+{
+
+/** Runs campaigns; stateless apart from the thread pool binding. */
+class CampaignEngine
+{
+  public:
+    /**
+     * @param runner thread pool to fan cells across; defaults to the
+     * process-wide pool. Pass a ParallelRunner(1) for a serial run.
+     */
+    explicit CampaignEngine(const ParallelRunner &runner =
+                                ParallelRunner::global());
+
+    /** Binding a temporary runner would dangle; see SweepEngine. */
+    explicit CampaignEngine(const ParallelRunner &&runner) = delete;
+
+    /**
+     * Simulate every (trace, platform, pdn) cell of the spec.
+     * Results are ordered platform-major, then trace, then pdn —
+     * the same order at any thread count.
+     */
+    CampaignResult run(const CampaignSpec &spec) const;
+
+  private:
+    const ParallelRunner &_runner;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_CAMPAIGN_CAMPAIGN_ENGINE_HH

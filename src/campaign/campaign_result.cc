@@ -1,0 +1,155 @@
+#include "campaign/campaign_result.hh"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <system_error>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+namespace
+{
+
+const char *const csvHeader =
+    "trace,platform,pdn,mode,duration_s,supply_energy_j,"
+    "nominal_energy_j,ivr_mode_s,ldo_mode_s,mode_switches,"
+    "switch_time_s,switch_energy_j";
+
+constexpr size_t csvColumns = 12;
+
+} // namespace
+
+const CampaignCellResult &
+CampaignResult::cell(const std::string &trace,
+                     const std::string &platform, PdnKind pdn) const
+{
+    for (const CampaignCellResult &c : cells) {
+        if (c.pdn == pdn && c.trace == trace &&
+            c.platform == platform) {
+            return c;
+        }
+    }
+    fatal(strprintf("CampaignResult: no cell (%s, %s, %s)",
+                    trace.c_str(), platform.c_str(),
+                    toString(pdn).c_str()));
+}
+
+std::vector<CampaignPdnSummary>
+CampaignResult::summarizeByPdn(const BatteryModel &battery) const
+{
+    std::vector<CampaignPdnSummary> out;
+    for (PdnKind kind : allPdnKinds) {
+        CampaignPdnSummary s;
+        s.pdn = kind;
+        Power powerSum;
+        for (const CampaignCellResult &c : cells) {
+            if (c.pdn != kind)
+                continue;
+            ++s.cells;
+            s.supplyEnergy += c.sim.supplyEnergy;
+            s.nominalEnergy += c.sim.nominalEnergy;
+            s.modeSwitches += c.sim.modeSwitches;
+            powerSum += c.sim.averagePower();
+        }
+        if (s.cells == 0)
+            continue;
+        s.meanAveragePower =
+            powerSum / static_cast<double>(s.cells);
+        s.batteryLifeHours = battery.lifeHours(s.meanAveragePower);
+        out.push_back(s);
+    }
+    return out;
+}
+
+void
+CampaignResult::writeCsv(std::ostream &os) const
+{
+    // Assemble in a plain buffer: every number is formatted by
+    // csvExactDouble (locale-independent, shortest round-trip), so
+    // no stream formatting state can leak into the output.
+    std::string buf = csvHeader;
+    buf += "\n";
+    for (const CampaignCellResult &c : cells) {
+        if (!csvFieldSafe(c.trace) || !csvFieldSafe(c.platform))
+            fatal("CampaignResult: cell names contain CSV "
+                  "metacharacters");
+        buf += c.trace;
+        buf += ",";
+        buf += c.platform;
+        buf += ",";
+        buf += toString(c.pdn);
+        buf += ",";
+        buf += toString(c.mode);
+        buf += ",";
+        buf += csvExactDouble(inSeconds(c.sim.duration));
+        buf += ",";
+        buf += csvExactDouble(inJoules(c.sim.supplyEnergy));
+        buf += ",";
+        buf += csvExactDouble(inJoules(c.sim.nominalEnergy));
+        buf += ",";
+        buf += csvExactDouble(
+            inSeconds(c.sim.residency(HybridMode::IvrMode)));
+        buf += ",";
+        buf += csvExactDouble(
+            inSeconds(c.sim.residency(HybridMode::LdoMode)));
+        buf += ",";
+        buf += std::to_string(c.sim.modeSwitches);
+        buf += ",";
+        buf += csvExactDouble(inSeconds(c.sim.switchOverheadTime));
+        buf += ",";
+        buf += csvExactDouble(inJoules(c.sim.switchOverheadEnergy));
+        buf += "\n";
+    }
+    os << buf;
+}
+
+CampaignResult
+CampaignResult::readCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != csvHeader)
+        fatal("CampaignResult::readCsv: missing or unrecognized "
+              "header row");
+
+    CampaignResult r;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> f = splitCsvLine(line);
+        if (f.size() != csvColumns)
+            fatal(strprintf("CampaignResult::readCsv: expected %zu "
+                            "columns, got %zu",
+                            csvColumns, f.size()));
+
+        CampaignCellResult c;
+        c.trace = f[0];
+        c.platform = f[1];
+        c.pdn = pdnKindFromString(f[2]);
+        c.mode = simModeFromString(f[3]);
+        c.sim.duration = seconds(csvToDouble(f[4]));
+        c.sim.supplyEnergy = joules(csvToDouble(f[5]));
+        c.sim.nominalEnergy = joules(csvToDouble(f[6]));
+        c.sim.modeResidency[static_cast<size_t>(
+            HybridMode::IvrMode)] = seconds(csvToDouble(f[7]));
+        c.sim.modeResidency[static_cast<size_t>(
+            HybridMode::LdoMode)] = seconds(csvToDouble(f[8]));
+        uint64_t switches = 0;
+        auto [ptr, ec] = std::from_chars(
+            f[9].data(), f[9].data() + f[9].size(), switches);
+        if (ec != std::errc() || ptr != f[9].data() + f[9].size())
+            fatal("CampaignResult::readCsv: mode_switches must be a "
+                  "non-negative integer");
+        c.sim.modeSwitches = switches;
+        c.sim.switchOverheadTime = seconds(csvToDouble(f[10]));
+        c.sim.switchOverheadEnergy = joules(csvToDouble(f[11]));
+
+        r.cells.push_back(std::move(c));
+    }
+    return r;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Results of one batch-simulation campaign: per-cell SimResults keyed
+ * by (trace, platform, pdn), per-PDN summary statistics, and a CSV
+ * export that round-trips bit-exactly through readCsv.
+ */
+
+#ifndef PDNSPOT_CAMPAIGN_CAMPAIGN_RESULT_HH
+#define PDNSPOT_CAMPAIGN_CAMPAIGN_RESULT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hh"
+#include "pdn/pdn_model.hh"
+#include "sim/battery_model.hh"
+#include "sim/sim_stats.hh"
+
+namespace pdnspot
+{
+
+/** Identity and outcome of one (trace, platform, pdn) cell. */
+struct CampaignCellResult
+{
+    std::string trace;
+    std::string platform;
+    PdnKind pdn = PdnKind::IVR;
+    SimMode mode = SimMode::Static;
+    SimResult sim;
+
+    bool operator==(const CampaignCellResult &) const = default;
+};
+
+/** Campaign-wide aggregates for one PDN architecture. */
+struct CampaignPdnSummary
+{
+    PdnKind pdn = PdnKind::IVR;
+    size_t cells = 0;
+    Energy supplyEnergy;      ///< total over all cells
+    Energy nominalEnergy;     ///< total over all cells
+    uint64_t modeSwitches = 0;
+    Power meanAveragePower;   ///< mean of per-cell average power
+    double batteryLifeHours = 0.0; ///< at meanAveragePower
+
+    /** Energy-weighted ETEE across the PDN's cells. */
+    double
+    meanEtee() const
+    {
+        if (supplyEnergy <= joules(0.0))
+            return 0.0;
+        return nominalEnergy / supplyEnergy;
+    }
+};
+
+/**
+ * Every cell of one campaign, in platform-major spec order. The
+ * simulation mode travels per cell (CampaignCellResult::mode), so a
+ * result is exactly its cells — no state outside the CSV.
+ */
+struct CampaignResult
+{
+    std::vector<CampaignCellResult> cells;
+
+    /** Lookup one cell; fatal() when absent. */
+    const CampaignCellResult &cell(const std::string &trace,
+                                   const std::string &platform,
+                                   PdnKind pdn) const;
+
+    /**
+     * Per-PDN aggregates in allPdnKinds order (PDNs with no cells
+     * omitted); battery life projected from the battery model at
+     * each PDN's mean average power.
+     */
+    std::vector<CampaignPdnSummary>
+    summarizeByPdn(const BatteryModel &battery) const;
+
+    /**
+     * One row per cell:
+     * trace,platform,pdn,mode,duration_s,supply_energy_j,
+     * nominal_energy_j,ivr_mode_s,ldo_mode_s,mode_switches,
+     * switch_time_s,switch_energy_j
+     * Numbers use shortest-round-trip formatting, so readCsv
+     * reconstructs the exact in-memory result.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** Inverse of writeCsv; fatal() on malformed input. */
+    static CampaignResult readCsv(std::istream &is);
+
+    bool operator==(const CampaignResult &) const = default;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_CAMPAIGN_CAMPAIGN_RESULT_HH

@@ -1,0 +1,104 @@
+#include "campaign/campaign_spec.hh"
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "power/operating_point.hh"
+
+namespace pdnspot
+{
+
+std::string
+toString(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::Static:
+        return "static";
+      case SimMode::Pmu:
+        return "pmu";
+      case SimMode::Oracle:
+        return "oracle";
+    }
+    panic("toString: invalid SimMode");
+}
+
+SimMode
+simModeFromString(const std::string &name)
+{
+    for (SimMode mode :
+         {SimMode::Static, SimMode::Pmu, SimMode::Oracle}) {
+        if (toString(mode) == name)
+            return mode;
+    }
+    fatal(strprintf("simModeFromString: unknown mode \"%s\"",
+                    name.c_str()));
+}
+
+void
+CampaignSpec::addTraces(const TraceLibrary &library)
+{
+    for (const PhaseTrace &t : library.traces())
+        traces.push_back(t);
+}
+
+namespace
+{
+
+void
+checkName(const char *what, const std::string &name)
+{
+    if (name.empty())
+        fatal(strprintf("CampaignSpec: unnamed %s", what));
+    if (!csvFieldSafe(name))
+        fatal(strprintf("CampaignSpec: %s name \"%s\" contains CSV "
+                        "metacharacters",
+                        what, name.c_str()));
+}
+
+} // namespace
+
+void
+CampaignSpec::validate() const
+{
+    if (traces.empty() || platforms.empty() || pdns.empty())
+        fatal("CampaignSpec: traces, platforms and pdns must all be "
+              "non-empty");
+    if (tick <= seconds(0.0))
+        fatal("CampaignSpec: non-positive tick");
+
+    for (size_t i = 0; i < traces.size(); ++i) {
+        checkName("trace", traces[i].name());
+        for (size_t j = i + 1; j < traces.size(); ++j) {
+            if (traces[i].name() == traces[j].name())
+                fatal(strprintf("CampaignSpec: duplicate trace name "
+                                "\"%s\"",
+                                traces[i].name().c_str()));
+        }
+    }
+    for (size_t i = 0; i < platforms.size(); ++i) {
+        checkName("platform", platforms[i].name);
+        for (size_t j = i + 1; j < platforms.size(); ++j) {
+            if (platforms[i].name == platforms[j].name)
+                fatal(strprintf("CampaignSpec: duplicate platform "
+                                "name \"%s\"",
+                                platforms[i].name.c_str()));
+        }
+        if (platforms[i].tdp < OperatingPointModel::minTdp() ||
+            platforms[i].tdp > OperatingPointModel::maxTdp()) {
+            fatal(strprintf("CampaignSpec: platform \"%s\" TDP "
+                            "%.1f W outside the supported 4-50 W "
+                            "span",
+                            platforms[i].name.c_str(),
+                            inWatts(platforms[i].tdp)));
+        }
+    }
+    for (size_t i = 0; i < pdns.size(); ++i) {
+        for (size_t j = i + 1; j < pdns.size(); ++j) {
+            if (pdns[i] == pdns[j])
+                fatal(strprintf("CampaignSpec: duplicate PDN kind "
+                                "\"%s\"",
+                                toString(pdns[i]).c_str()));
+        }
+    }
+}
+
+} // namespace pdnspot

@@ -1,0 +1,59 @@
+#include "common/csv.hh"
+
+#include <charconv>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (;;) {
+        size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+double
+csvToDouble(const std::string &field)
+{
+    // std::from_chars is locale-independent by specification, unlike
+    // strtod/istream extraction which honor the global locale.
+    double v = 0.0;
+    const char *begin = field.data();
+    const char *end = begin + field.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr != end)
+        fatal(strprintf("csvToDouble: malformed number \"%s\"",
+                        field.c_str()));
+    return v;
+}
+
+std::string
+csvExactDouble(double v)
+{
+    // Shortest round-trip form; 32 chars covers any double.
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        panic("csvExactDouble: to_chars failed");
+    return std::string(buf, ptr);
+}
+
+bool
+csvFieldSafe(const std::string &field)
+{
+    return field.find_first_of(",\n\r") == std::string::npos;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV tokenizing and locale-independent number round-tripping,
+ * shared by the sweep and campaign importers/exporters.
+ *
+ * Our CSV dialect is deliberately tiny: comma-separated fields, no
+ * quoting, no escapes (writers reject field values containing commas
+ * or newlines instead). Numbers always use the classic "C" locale:
+ * '.' decimal point, no digit grouping.
+ */
+
+#ifndef PDNSPOT_COMMON_CSV_HH
+#define PDNSPOT_COMMON_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace pdnspot
+{
+
+/** Split one line on commas. "a,,b" -> {"a", "", "b"}; "" -> {""}. */
+std::vector<std::string> splitCsvLine(const std::string &line);
+
+/**
+ * Parse a classic-locale floating-point field. The whole field must
+ * be consumed; fatal() (ConfigError) on malformed input.
+ */
+double csvToDouble(const std::string &field);
+
+/**
+ * Format a double with the shortest representation that parses back
+ * to exactly the same value (std::to_chars round-trip guarantee), so
+ * CSV exports can be re-imported bit-identically.
+ */
+std::string csvExactDouble(double v);
+
+/** True iff the value is safe as an unquoted CSV field. */
+bool csvFieldSafe(const std::string &field);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_COMMON_CSV_HH

@@ -1,5 +1,6 @@
 #include "common/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 
@@ -168,6 +169,39 @@ ParallelRunner::forEach(size_t n,
 
     if (job->error)
         std::rethrow_exception(job->error);
+}
+
+void
+ParallelRunner::forEachChunked(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t)> &fn) const
+{
+    if (grain == 0)
+        fatal("ParallelRunner: chunk grain must be positive");
+    if (n == 0)
+        return;
+    if (grain == 1) {
+        forEach(n, [&](size_t i) { fn(i, i + 1); });
+        return;
+    }
+
+    // Claim over the chunk index space; the per-index machinery
+    // (ordering, reentrancy fallback, exception draining) carries
+    // over unchanged.
+    size_t chunks = (n + grain - 1) / grain;
+    forEach(chunks, [&](size_t c) {
+        size_t begin = c * grain;
+        fn(begin, std::min(begin + grain, n));
+    });
+}
+
+size_t
+ParallelRunner::suggestedGrain(size_t n, size_t chunksPerThread) const
+{
+    if (n == 0)
+        return 1;
+    size_t target = std::max<size_t>(1, chunksPerThread) * _threads;
+    return std::clamp<size_t>(n / target, 1, n);
 }
 
 const ParallelRunner &

@@ -53,17 +53,44 @@ class ParallelRunner
     void forEach(size_t n, const std::function<void(size_t)> &fn) const;
 
     /**
+     * Chunked range-claiming: workers claim contiguous ranges of up
+     * to `grain` indices at a time and receive each claimed range as
+     * one fn(begin, end) call. Claiming per range instead of per
+     * index amortizes the work-counter contention when n is large
+     * and fn is cheap; which indices land in which chunk depends
+     * only on (n, grain), never on scheduling, so deterministic
+     * callers stay deterministic. An exception thrown by fn skips
+     * the rest of that chunk only; the first one is rethrown after
+     * the job drains (as with forEach).
+     */
+    void forEachChunked(size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)> &fn)
+        const;
+
+    /**
      * Parallel map with deterministic ordering: out[i] == fn(i).
-     * T must be default-constructible.
+     * T must be default-constructible. `grain` sets the range-claim
+     * size (see forEachChunked); 1 claims per index.
      */
     template <typename T, typename Fn>
     std::vector<T>
-    map(size_t n, Fn &&fn) const
+    map(size_t n, Fn &&fn, size_t grain = 1) const
     {
         std::vector<T> out(n);
-        forEach(n, [&](size_t i) { out[i] = fn(i); });
+        forEachChunked(n, grain, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i)
+                out[i] = fn(i);
+        });
         return out;
     }
+
+    /**
+     * A grain that splits n indices into roughly chunksPerThread
+     * claims per worker — enough chunks for load balance, few enough
+     * to amortize claiming. Always in [1, n].
+     */
+    size_t suggestedGrain(size_t n,
+                          size_t chunksPerThread = 8) const;
 
     /** Process-wide shared pool (sized per the default policy). */
     static const ParallelRunner &global();

@@ -23,6 +23,17 @@ toString(PdnKind kind)
     panic("toString: invalid PdnKind");
 }
 
+PdnKind
+pdnKindFromString(const std::string &name)
+{
+    for (PdnKind kind : allPdnKinds) {
+        if (toString(kind) == name)
+            return kind;
+    }
+    fatal(strprintf("pdnKindFromString: unknown PDN kind \"%s\"",
+                    name.c_str()));
+}
+
 PdnModel::PdnModel(PdnPlatformParams platform)
     : _platform(platform), _guardband()
 {

@@ -46,6 +46,9 @@ inline constexpr std::array<PdnKind, 3> classicPdnKinds = {
 
 std::string toString(PdnKind kind);
 
+/** Inverse of toString(PdnKind); fatal() on an unknown name. */
+PdnKind pdnKindFromString(const std::string &name);
+
 /** An off-chip rail description, consumed by the BOM/area models. */
 struct OffChipRail
 {

@@ -14,6 +14,8 @@
 
 #include <array>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cost/board_budget.hh"
 #include "flexwatts/etee_table.hh"
@@ -31,9 +33,40 @@ namespace pdnspot
 /** Platform-level configuration. */
 struct PlatformConfig
 {
+    /** Identifies this platform in campaign results and CSV rows. */
+    std::string name = "custom";
+
+    /**
+     * Sustained thermal design power of the modeled system; campaign
+     * simulations run the interval simulator at this budget. Must lie
+     * in the operating-point model's supported 4-50 W span.
+     */
+    Power tdp = watts(15.0);
+
     PdnPlatformParams pdnParams;
     double predictorHysteresis = 0.005; ///< 0.5% absolute ETEE margin
 };
+
+/**
+ * Named platform presets spanning the paper's client segments
+ * (Sec. 7.1 evaluates 4-50 W TDPs). Campaigns sweep these alongside
+ * PDN kinds; see src/campaign/.
+ */
+
+/** 4 W fan-less tablet: 2S battery pack, passive cooling. */
+PlatformConfig fanlessTabletPreset();
+
+/** 15 W ultraportable notebook: the paper's default platform. */
+PlatformConfig ultraportablePreset();
+
+/** 45 W H-series performance notebook: 3S pack, active cooling. */
+PlatformConfig hSeriesPreset();
+
+/** The three presets above, in ascending-TDP order. */
+const std::vector<PlatformConfig> &allPlatformPresets();
+
+/** Look a preset up by its config name; fatal() on an unknown name. */
+PlatformConfig platformPresetByName(const std::string &name);
 
 /** Everything PDNspot knows about one modeled client platform. */
 class Platform

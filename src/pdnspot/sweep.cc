@@ -1,9 +1,11 @@
 #include "pdnspot/sweep.hh"
 
+#include <istream>
 #include <locale>
 #include <sstream>
 #include <utility>
 
+#include "common/csv.hh"
 #include "common/logging.hh"
 #include "pdnspot/experiments.hh"
 
@@ -41,6 +43,35 @@ SweepResult::writeCsv(std::ostream &os) const
     os << buf.str();
 }
 
+SweepResult
+SweepResult::readCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("SweepResult::readCsv: empty input");
+
+    std::vector<std::string> header = splitCsvLine(line);
+    SweepResult r;
+    r.xLabel = header.front();
+    for (size_t s = 1; s < header.size(); ++s)
+        r.series.push_back({header[s], {}});
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> fields = splitCsvLine(line);
+        if (fields.size() != header.size())
+            fatal(strprintf("SweepResult::readCsv: row has %zu "
+                            "columns, header has %zu",
+                            fields.size(), header.size()));
+        double x = csvToDouble(fields[0]);
+        for (size_t s = 1; s < fields.size(); ++s)
+            r.series[s - 1].points.emplace_back(
+                x, csvToDouble(fields[s]));
+    }
+    return r;
+}
+
 SweepEngine::SweepEngine(const Platform &platform,
                          const ParallelRunner &runner)
     : _platform(platform), _runner(runner)
@@ -70,13 +101,15 @@ SweepEngine::sweep(std::string xLabel, std::string yLabel,
     if (xs.empty() || kinds.empty())
         fatal("SweepEngine: empty sweep requested");
 
-    // Flatten kind × point into one task list; each result lands at
-    // its own index, so assembly order never depends on scheduling.
+    // Flatten kind × point into one task list, claimed in chunked
+    // ranges; each result lands at its own index, so assembly order
+    // never depends on scheduling or the grain.
     size_t nx = xs.size();
+    size_t total = kinds.size() * nx;
     std::vector<double> ys = _runner.map<double>(
-        kinds.size() * nx, [&](size_t t) {
-            return eval(kinds[t / nx], xs[t % nx]);
-        });
+        total,
+        [&](size_t t) { return eval(kinds[t / nx], xs[t % nx]); },
+        _runner.suggestedGrain(total));
 
     SweepResult r;
     r.xLabel = std::move(xLabel);

@@ -14,7 +14,7 @@
 #define PDNSPOT_PDNSPOT_SWEEP_HH
 
 #include <functional>
-#include <ostream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -40,6 +40,16 @@ struct SweepResult
 
     /** Emit as CSV: x, series-1, series-2, ... */
     void writeCsv(std::ostream &os) const;
+
+    /**
+     * Inverse of writeCsv, so exported figure data round-trips: the
+     * header row supplies xLabel and the series labels, every data
+     * row one x value and one y per series. The y-axis label is not
+     * part of the CSV, so it comes back empty. For any text produced
+     * by writeCsv, read-then-write reproduces it exactly (fixpoint).
+     * fatal() on malformed input.
+     */
+    static SweepResult readCsv(std::istream &is);
 };
 
 /**

@@ -52,6 +52,12 @@ struct SimResult
     {
         return modeResidency[static_cast<size_t>(mode)];
     }
+
+    /**
+     * Exact (bit-level) comparison, used by the campaign determinism
+     * and CSV round-trip guarantees.
+     */
+    bool operator==(const SimResult &) const = default;
 };
 
 } // namespace pdnspot

@@ -30,6 +30,8 @@ struct TracePhase
     PackageCState cstate = PackageCState::C0;
     WorkloadType type = WorkloadType::MultiThread; ///< for C0 phases
     double ar = 0.56;                              ///< for C0 phases
+
+    bool operator==(const TracePhase &) const = default;
 };
 
 /** A named sequence of phases. */
@@ -45,6 +47,8 @@ class PhaseTrace
     Time totalDuration() const;
 
     void append(TracePhase phase) { _phases.push_back(phase); }
+
+    bool operator==(const PhaseTrace &) const = default;
 
   private:
     std::string _name;

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Campaign subsystem tests: spec validation, cross-product coverage
+ * and ordering, bit-identical results across thread counts, the CSV
+ * write -> read -> write fixpoint, and summary statistics.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign_engine.hh"
+#include "common/logging.hh"
+#include "workload/trace_generator.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+/** A small but heterogeneous spec: 3 traces x 2 platforms x 3 PDNs. */
+CampaignSpec
+smallSpec(SimMode mode)
+{
+    CampaignSpec spec;
+    TraceGenerator gen(11);
+    spec.traces.push_back(gen.burstyCompute(3, milliseconds(5.0),
+                                            milliseconds(15.0)));
+    spec.traces.push_back(gen.randomMix(12, milliseconds(8.0)));
+    spec.traces.push_back(traceFromBatteryProfile(
+        videoPlayback(), milliseconds(33.3), 2));
+    spec.platforms = {fanlessTabletPreset(), ultraportablePreset()};
+    spec.pdns = {PdnKind::IVR, PdnKind::LDO, PdnKind::FlexWatts};
+    spec.mode = mode;
+    return spec;
+}
+
+TEST(CampaignSpecTest, ValidateRejectsEmptyAxes)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    spec.traces.clear();
+    EXPECT_THROW(spec.validate(), ConfigError);
+
+    spec = smallSpec(SimMode::Static);
+    spec.platforms.clear();
+    EXPECT_THROW(spec.validate(), ConfigError);
+
+    spec = smallSpec(SimMode::Static);
+    spec.pdns.clear();
+    EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(CampaignSpecTest, ValidateRejectsDuplicateNames)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    spec.traces.push_back(spec.traces.front());
+    EXPECT_THROW(spec.validate(), ConfigError);
+
+    spec = smallSpec(SimMode::Static);
+    spec.platforms.push_back(spec.platforms.front());
+    EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(CampaignSpecTest, ValidateRejectsDuplicatePdnKinds)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    spec.pdns.push_back(spec.pdns.front());
+    EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(CampaignSpecTest, ValidateRejectsOutOfRangeTdp)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    spec.platforms[0].tdp = watts(2.0);
+    EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(CampaignSpecTest, ValidateRejectsNonPositiveTick)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    spec.tick = seconds(0.0);
+    EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(CampaignSpecTest, SimModeNamesRoundTrip)
+{
+    for (SimMode mode :
+         {SimMode::Static, SimMode::Pmu, SimMode::Oracle})
+        EXPECT_EQ(simModeFromString(toString(mode)), mode);
+    EXPECT_THROW(simModeFromString("bogus"), ConfigError);
+}
+
+TEST(CampaignEngineTest, CoversFullCrossProductInSpecOrder)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    CampaignResult result = CampaignEngine().run(spec);
+    ASSERT_EQ(result.cells.size(), spec.cellCount());
+
+    size_t t = 0;
+    for (const PlatformConfig &pf : spec.platforms) {
+        for (const PhaseTrace &trace : spec.traces) {
+            for (PdnKind kind : spec.pdns) {
+                const CampaignCellResult &c = result.cells[t++];
+                EXPECT_EQ(c.platform, pf.name);
+                EXPECT_EQ(c.trace, trace.name());
+                EXPECT_EQ(c.pdn, kind);
+                EXPECT_EQ(c.mode, SimMode::Static);
+                EXPECT_EQ(c.sim.duration, trace.totalDuration());
+                EXPECT_GT(c.sim.supplyEnergy, joules(0.0));
+                EXPECT_GT(c.sim.averageEtee(), 0.0);
+                EXPECT_LE(c.sim.averageEtee(), 1.0);
+            }
+        }
+    }
+}
+
+TEST(CampaignEngineTest, DeterministicAcrossThreadCounts)
+{
+    for (SimMode mode :
+         {SimMode::Static, SimMode::Pmu, SimMode::Oracle}) {
+        CampaignSpec spec = smallSpec(mode);
+        ParallelRunner serial(1);
+        CampaignResult baseline =
+            CampaignEngine(serial).run(spec);
+        for (unsigned threads : {2u, 8u}) {
+            ParallelRunner runner(threads);
+            CampaignResult parallel =
+                CampaignEngine(runner).run(spec);
+            EXPECT_EQ(parallel, baseline)
+                << toString(mode) << " mode with " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(CampaignEngineTest, PmuModePaysSwitchOverheads)
+{
+    CampaignSpec spec = smallSpec(SimMode::Pmu);
+    CampaignResult result = CampaignEngine().run(spec);
+
+    // The bursty trace flips between active and deep-idle phases, so
+    // the PMU must switch modes at least once somewhere; only
+    // FlexWatts cells can ever report switches.
+    uint64_t flexSwitches = 0;
+    for (const CampaignCellResult &c : result.cells) {
+        if (c.pdn == PdnKind::FlexWatts) {
+            flexSwitches += c.sim.modeSwitches;
+        } else {
+            EXPECT_EQ(c.sim.modeSwitches, 0u);
+            EXPECT_EQ(c.sim.switchOverheadEnergy, joules(0.0));
+        }
+    }
+    EXPECT_GT(flexSwitches, 0u);
+}
+
+TEST(CampaignEngineTest, OracleNeverWorseThanPmu)
+{
+    CampaignSpec spec = smallSpec(SimMode::Pmu);
+    CampaignResult pmu = CampaignEngine().run(spec);
+    spec.mode = SimMode::Oracle;
+    CampaignResult oracle = CampaignEngine().run(spec);
+
+    for (size_t i = 0; i < pmu.cells.size(); ++i) {
+        if (pmu.cells[i].pdn != PdnKind::FlexWatts)
+            continue;
+        // The oracle switches instantly and for free; realistic PMU
+        // control can only add energy.
+        EXPECT_LE(inJoules(oracle.cells[i].sim.supplyEnergy),
+                  inJoules(pmu.cells[i].sim.supplyEnergy) + 1e-12)
+            << pmu.cells[i].trace << " on "
+            << pmu.cells[i].platform;
+    }
+}
+
+TEST(CampaignResultTest, CellLookupFindsEveryCellAndRejectsMisses)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    CampaignResult result = CampaignEngine().run(spec);
+    for (const CampaignCellResult &c : result.cells) {
+        EXPECT_EQ(result.cell(c.trace, c.platform, c.pdn), c);
+    }
+    EXPECT_THROW(result.cell("no-such-trace",
+                             spec.platforms.front().name,
+                             PdnKind::IVR),
+                 ConfigError);
+    EXPECT_THROW(result.cell(spec.traces.front().name(),
+                             spec.platforms.front().name,
+                             PdnKind::MBVR),
+                 ConfigError);
+}
+
+TEST(CampaignResultTest, CsvRoundTripIsExactAndAFixpoint)
+{
+    CampaignSpec spec = smallSpec(SimMode::Pmu);
+    CampaignResult result = CampaignEngine().run(spec);
+
+    std::stringstream first;
+    result.writeCsv(first);
+    CampaignResult reread = CampaignResult::readCsv(first);
+    EXPECT_EQ(reread, result);
+
+    std::stringstream second;
+    reread.writeCsv(second);
+    EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(CampaignResultTest, ReadCsvRejectsMalformedInput)
+{
+    std::istringstream noHeader("not,a,campaign\n");
+    EXPECT_THROW(CampaignResult::readCsv(noHeader), ConfigError);
+
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    CampaignResult result = CampaignEngine().run(spec);
+    std::stringstream csv;
+    result.writeCsv(csv);
+
+    std::string text = csv.str();
+    std::istringstream truncated(
+        text.substr(0, text.rfind(',')));
+    EXPECT_THROW(CampaignResult::readCsv(truncated), ConfigError);
+
+    std::string bad = text;
+    bad.replace(bad.find("IVR"), 3, "XXX");
+    std::istringstream badKind(bad);
+    EXPECT_THROW(CampaignResult::readCsv(badKind), ConfigError);
+}
+
+TEST(CampaignResultTest, SummaryAggregatesMatchManualTotals)
+{
+    CampaignSpec spec = smallSpec(SimMode::Pmu);
+    CampaignResult result = CampaignEngine().run(spec);
+    BatteryModel battery(wattHours(50.0));
+    std::vector<CampaignPdnSummary> summaries =
+        result.summarizeByPdn(battery);
+    ASSERT_EQ(summaries.size(), spec.pdns.size());
+
+    for (const CampaignPdnSummary &s : summaries) {
+        Energy supply, nominal;
+        size_t cells = 0;
+        for (const CampaignCellResult &c : result.cells) {
+            if (c.pdn != s.pdn)
+                continue;
+            ++cells;
+            supply += c.sim.supplyEnergy;
+            nominal += c.sim.nominalEnergy;
+        }
+        EXPECT_EQ(s.cells, cells);
+        EXPECT_EQ(s.supplyEnergy, supply);
+        EXPECT_DOUBLE_EQ(s.meanEtee(), nominal / supply);
+        EXPECT_GT(s.batteryLifeHours, 0.0);
+    }
+}
+
+} // namespace
+} // namespace pdnspot

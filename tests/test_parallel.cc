@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "pdnspot/experiments.hh"
 #include "pdnspot/sweep.hh"
@@ -87,6 +88,68 @@ TEST(ParallelRunnerTest, NestedForEachFallsBackToSerial)
     });
     for (auto &v : visits)
         EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelRunnerTest, ForEachChunkedCoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        for (size_t grain : {size_t(1), size_t(3), size_t(8),
+                             size_t(64), size_t(1000)}) {
+            size_t n = 100;
+            std::vector<std::atomic<int>> visits(n);
+            runner.forEachChunked(
+                n, grain, [&](size_t begin, size_t end) {
+                    ASSERT_LT(begin, end);
+                    ASSERT_LE(end, n);
+                    ASSERT_LE(end - begin, grain);
+                    for (size_t i = begin; i < end; ++i)
+                        visits[i]++;
+                });
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(visits[i].load(), 1)
+                    << "index " << i << " grain " << grain
+                    << " threads " << threads;
+        }
+    }
+}
+
+TEST(ParallelRunnerTest, ForEachChunkedRejectsZeroGrain)
+{
+    ParallelRunner runner(2);
+    EXPECT_THROW(
+        runner.forEachChunked(10, 0, [](size_t, size_t) {}),
+        ConfigError);
+}
+
+TEST(ParallelRunnerTest, MapWithGrainMatchesSerialBitExactly)
+{
+    ParallelRunner serial(1);
+    std::vector<double> expected = serial.map<double>(
+        513, [](size_t i) { return 1.0 / (1.0 + double(i)); });
+    ParallelRunner runner(8);
+    for (size_t grain : {size_t(1), size_t(7), size_t(100)}) {
+        std::vector<double> got = runner.map<double>(
+            513, [](size_t i) { return 1.0 / (1.0 + double(i)); },
+            grain);
+        EXPECT_EQ(got, expected) << "grain " << grain;
+    }
+}
+
+TEST(ParallelRunnerTest, SuggestedGrainIsAlwaysUsable)
+{
+    ParallelRunner runner(4);
+    for (size_t n : {size_t(0), size_t(1), size_t(5), size_t(1000),
+                     size_t(1000000)}) {
+        size_t grain = runner.suggestedGrain(n);
+        EXPECT_GE(grain, 1u) << n;
+        if (n > 0) {
+            EXPECT_LE(grain, n) << n;
+        }
+    }
+    // Large inputs must actually chunk: claims should be far rarer
+    // than indices.
+    EXPECT_GT(runner.suggestedGrain(1000000), 1000u);
 }
 
 TEST(ParallelRunnerTest, ReusableAcrossJobs)

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Sanity tests for the named PlatformConfig presets: TDPs inside the
+ * operating-point model's span, distinct CSV-safe names, and working
+ * operating points / PDN evaluations on platforms built from them.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "pdnspot/platform.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+TEST(PlatformPresetsTest, ThreePresetsWithPaperTdps)
+{
+    const std::vector<PlatformConfig> &presets = allPlatformPresets();
+    ASSERT_EQ(presets.size(), 3u);
+    EXPECT_EQ(inWatts(presets[0].tdp), 4.0);
+    EXPECT_EQ(inWatts(presets[1].tdp), 15.0);
+    EXPECT_EQ(inWatts(presets[2].tdp), 45.0);
+}
+
+TEST(PlatformPresetsTest, NamesAreDistinctAndCsvSafe)
+{
+    std::set<std::string> names;
+    for (const PlatformConfig &cfg : allPlatformPresets()) {
+        EXPECT_FALSE(cfg.name.empty());
+        EXPECT_TRUE(csvFieldSafe(cfg.name)) << cfg.name;
+        EXPECT_TRUE(names.insert(cfg.name).second)
+            << "duplicate preset name " << cfg.name;
+    }
+}
+
+TEST(PlatformPresetsTest, TdpsWithinModelSpanAndParamsSane)
+{
+    for (const PlatformConfig &cfg : allPlatformPresets()) {
+        EXPECT_GE(cfg.tdp, OperatingPointModel::minTdp())
+            << cfg.name;
+        EXPECT_LE(cfg.tdp, OperatingPointModel::maxTdp())
+            << cfg.name;
+        EXPECT_GT(cfg.pdnParams.supplyVoltage, volts(0.0))
+            << cfg.name;
+        EXPECT_GT(cfg.predictorHysteresis, 0.0) << cfg.name;
+    }
+}
+
+TEST(PlatformPresetsTest, LookupByNameRoundTrips)
+{
+    for (const PlatformConfig &cfg : allPlatformPresets()) {
+        PlatformConfig found = platformPresetByName(cfg.name);
+        EXPECT_EQ(found.name, cfg.name);
+        EXPECT_EQ(found.tdp, cfg.tdp);
+    }
+    EXPECT_THROW(platformPresetByName("no-such-platform"),
+                 ConfigError);
+}
+
+TEST(PlatformPresetsTest, OperatingPointsBuildAtEachPresetTdp)
+{
+    for (const PlatformConfig &cfg : allPlatformPresets()) {
+        Platform platform(cfg);
+        EXPECT_EQ(platform.config().name, cfg.name);
+
+        const OperatingPointModel &opm = platform.operatingPoints();
+        EXPECT_GT(inGigahertz(opm.coreBaseFrequency(cfg.tdp)), 0.0)
+            << cfg.name;
+
+        OperatingPointModel::Query q;
+        q.tdp = cfg.tdp;
+        PlatformState state = opm.build(q);
+        EXPECT_GT(state.totalNominalPower(), watts(0.0)) << cfg.name;
+
+        // Every PDN must produce a physical ETEE at the preset's
+        // nominal operating point.
+        for (PdnKind kind : allPdnKinds) {
+            double etee = platform.pdn(kind).evaluate(state).etee();
+            EXPECT_GT(etee, 0.0)
+                << cfg.name << " " << toString(kind);
+            EXPECT_LE(etee, 1.0)
+                << cfg.name << " " << toString(kind);
+        }
+    }
+}
+
+TEST(PlatformPresetsTest, FanlessTabletUsesLowTemperaturePolicy)
+{
+    // The 4-8 W fan-less platforms run the 80 C junction policy, the
+    // 45 W H-series the 100 C policy (operating-point model docs).
+    Platform tablet(fanlessTabletPreset());
+    Platform hseries(hSeriesPreset());
+    const OperatingPointModel &opm = tablet.operatingPoints();
+    EXPECT_LT(
+        opm.defaultTj(fanlessTabletPreset().tdp).degrees(),
+        hseries.operatingPoints().defaultTj(hSeriesPreset().tdp)
+            .degrees());
+}
+
+} // namespace
+} // namespace pdnspot

@@ -110,6 +110,76 @@ TEST(SweepCsvTest, FormattingIgnoresStreamLocale)
     EXPECT_EQ(rows[1], "1234.5,0.25");
 }
 
+TEST(SweepCsvTest, ReadCsvReconstructsSeries)
+{
+    std::ostringstream os;
+    twoSeriesResult().writeCsv(os);
+    std::istringstream is(os.str());
+    SweepResult r = SweepResult::readCsv(is);
+
+    EXPECT_EQ(r.xLabel, "TDP_W");
+    EXPECT_EQ(r.yLabel, ""); // not part of the CSV
+    ASSERT_EQ(r.series.size(), 2u);
+    EXPECT_EQ(r.series[0].label, "IVR");
+    EXPECT_EQ(r.series[1].label, "FlexWatts");
+    EXPECT_EQ(r.series[0].points,
+              (std::vector<std::pair<double, double>>{{4.0, 0.75},
+                                                      {15.0, 0.8}}));
+    EXPECT_EQ(r.series[1].points,
+              (std::vector<std::pair<double, double>>{{4.0, 0.85},
+                                                      {15.0, 0.82}}));
+}
+
+TEST(SweepCsvTest, WriteReadWriteIsAFixpoint)
+{
+    std::ostringstream first;
+    twoSeriesResult().writeCsv(first);
+
+    std::istringstream is(first.str());
+    SweepResult reread = SweepResult::readCsv(is);
+    std::ostringstream second;
+    reread.writeCsv(second);
+    EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(SweepCsvTest, ReadCsvHandlesHeaderOnlyOutput)
+{
+    std::istringstream is("AR\n");
+    SweepResult r = SweepResult::readCsv(is);
+    EXPECT_EQ(r.xLabel, "AR");
+    EXPECT_TRUE(r.series.empty());
+
+    std::ostringstream os;
+    r.writeCsv(os);
+    EXPECT_EQ(os.str(), "AR\n");
+}
+
+TEST(SweepCsvTest, ReadCsvRejectsMalformedInput)
+{
+    std::istringstream empty("");
+    EXPECT_THROW(SweepResult::readCsv(empty), ConfigError);
+
+    std::istringstream ragged("x,a,b\n1,2\n");
+    EXPECT_THROW(SweepResult::readCsv(ragged), ConfigError);
+
+    std::istringstream garbage("x,a\n1,banana\n");
+    EXPECT_THROW(SweepResult::readCsv(garbage), ConfigError);
+}
+
+TEST(SweepCsvTest, ReadCsvParsingIgnoresGlobalLocale)
+{
+    std::locale saved = std::locale::global(
+        std::locale(std::locale::classic(), new CommaDecimal));
+    std::istringstream is("x,y\n1234.5,0.25\n");
+    SweepResult r = SweepResult::readCsv(is);
+    std::locale::global(saved);
+
+    ASSERT_EQ(r.series.size(), 1u);
+    ASSERT_EQ(r.series[0].points.size(), 1u);
+    EXPECT_EQ(r.series[0].points[0].first, 1234.5);
+    EXPECT_EQ(r.series[0].points[0].second, 0.25);
+}
+
 TEST(SweepCsvTest, FormattingIgnoresGlobalLocale)
 {
     std::locale saved = std::locale::global(

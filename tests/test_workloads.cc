@@ -13,6 +13,7 @@
 #include "workload/spec_cpu2006.hh"
 #include "workload/trace.hh"
 #include "workload/trace_generator.hh"
+#include "workload/trace_library.hh"
 #include "workload/workload.hh"
 
 namespace pdnspot
@@ -197,6 +198,65 @@ TEST(TraceGenerator, ArsStayInValidBand)
         EXPECT_GT(p.ar, 0.0);
         EXPECT_LE(p.ar, 1.0);
     }
+}
+
+TEST(TraceGenerator, FixedSeedReproducesIdenticalTraces)
+{
+    // Full-trace equality (name and every phase field) across
+    // independently-constructed generators, for each trace family.
+    EXPECT_EQ(TraceGenerator(21).burstyCompute(5, milliseconds(4.0),
+                                               milliseconds(9.0)),
+              TraceGenerator(21).burstyCompute(5, milliseconds(4.0),
+                                               milliseconds(9.0)));
+    EXPECT_EQ(TraceGenerator(21).dayInTheLife(),
+              TraceGenerator(21).dayInTheLife());
+    EXPECT_EQ(TraceGenerator(21).randomMix(40, milliseconds(3.0)),
+              TraceGenerator(21).randomMix(40, milliseconds(3.0)));
+}
+
+TEST(TraceLibrary, RejectsDuplicateAndBadNames)
+{
+    TraceLibrary lib;
+    TracePhase phase;
+    phase.duration = milliseconds(1.0);
+    lib.add(PhaseTrace("a-trace", {phase}));
+    EXPECT_THROW(lib.add(PhaseTrace("a-trace", {phase})),
+                 ConfigError);
+    EXPECT_THROW(lib.add(PhaseTrace("", {phase})), ConfigError);
+    EXPECT_THROW(lib.add(PhaseTrace("bad,name", {phase})),
+                 ConfigError);
+    EXPECT_EQ(lib.size(), 1u);
+}
+
+TEST(TraceLibrary, FindReturnsRegisteredTraces)
+{
+    TraceLibrary lib;
+    TracePhase phase;
+    phase.duration = milliseconds(1.0);
+    lib.add(PhaseTrace("one", {phase}));
+    ASSERT_NE(lib.find("one"), nullptr);
+    EXPECT_EQ(lib.find("one")->name(), "one");
+    EXPECT_EQ(lib.find("two"), nullptr);
+}
+
+TEST(TraceLibrary, StandardCampaignCorpusIsReproducible)
+{
+    TraceLibrary a = standardCampaignTraces(42);
+    TraceLibrary b = standardCampaignTraces(42);
+
+    // The acceptance campaign needs >= 8 uniquely-named traces.
+    EXPECT_GE(a.size(), 8u);
+    std::set<std::string> names;
+    for (const std::string &n : a.names())
+        EXPECT_TRUE(names.insert(n).second) << "duplicate " << n;
+
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.traces()[i], b.traces()[i]);
+
+    // A different seed must change the generator-derived traces.
+    TraceLibrary c = standardCampaignTraces(43);
+    EXPECT_NE(a.traces()[0], c.traces()[0]);
 }
 
 } // anonymous namespace
