@@ -31,6 +31,24 @@ smallSpec(SimMode mode)
     return spec;
 }
 
+/**
+ * The memo cache's target shape: battery-profile frame traces repeat
+ * the same few operating points hundreds of times, so nearly every
+ * evaluation after the first frame is a memo hit.
+ */
+CampaignSpec
+repeatedStateSpec()
+{
+    CampaignSpec spec;
+    for (const BatteryProfile &profile : batteryLifeWorkloads())
+        spec.traces.push_back(traceFromBatteryProfile(
+            profile, milliseconds(33.3), 256));
+    spec.platforms = {ultraportablePreset()};
+    spec.pdns.assign(allPdnKinds.begin(), allPdnKinds.end());
+    spec.mode = SimMode::Oracle;
+    return spec;
+}
+
 void
 printFigure()
 {
@@ -48,7 +66,21 @@ printFigure()
                   std::to_string(s.modeSwitches)});
     }
     t.print(std::cout);
-    std::cout << "\n";
+
+    // The memo-cache acceptance check: identical numbers either way
+    // (the campaignMemo benchmarks then show the runtime gap).
+    CampaignSpec repeated = repeatedStateSpec();
+    ParallelRunner serial(1);
+    CampaignResult with =
+        CampaignEngine(serial).memoize(true).run(repeated);
+    CampaignResult without =
+        CampaignEngine(serial).memoize(false).run(repeated);
+    std::cout << "\nEteeMemo on repeated-state campaign ("
+              << repeated.cellCount() << " cells, "
+              << repeated.traces[0].phases().size()
+              << " phases/trace): results "
+              << (with == without ? "bit-identical" : "MISMATCH")
+              << " with memo on/off\n\n";
 }
 
 void
@@ -86,8 +118,26 @@ campaignMode(benchmark::State &state)
     }
 }
 
+void
+campaignMemo(benchmark::State &state)
+{
+    ParallelRunner serial(1);
+    CampaignEngine engine(serial);
+    engine.memoize(state.range(0) != 0);
+    CampaignSpec spec = repeatedStateSpec();
+    for (auto _ : state) {
+        CampaignResult r = engine.run(spec);
+        benchmark::DoNotOptimize(r.cells.data());
+    }
+}
+
 BENCHMARK(campaignSerial)->Unit(benchmark::kMillisecond);
 BENCHMARK(campaignPooled)->Unit(benchmark::kMillisecond);
+BENCHMARK(campaignMemo)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"memo"})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(campaignMode)
     ->Arg(static_cast<int>(SimMode::Static))
     ->Arg(static_cast<int>(SimMode::Pmu))

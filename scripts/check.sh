@@ -26,6 +26,21 @@ cmake --build "$build_dir" -j "$(nproc)"
 
 ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure
 
+# Spec-file CLI smoke: pdnspot_campaign on the checked-in example
+# spec must reproduce the C++-built acceptance campaign byte for
+# byte, serial and parallel (the streaming-export determinism
+# contract at the binary surface).
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+"$build_dir"/examples/campaign_study "$smoke_dir/cpp.csv" >/dev/null
+PDNSPOT_THREADS=1 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/paper_campaign.json -o "$smoke_dir/spec1.csv"
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/paper_campaign.json -o "$smoke_dir/spec8.csv"
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/spec1.csv"
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/spec8.csv"
+echo "check.sh: pdnspot_campaign spec-file smoke green"
+
 # Second pass: the whole test suite under ASan+UBSan. Bench binaries
 # add nothing here (they are not registered tests), so skip them to
 # halve the sanitized build.

@@ -1,10 +1,15 @@
 #include "campaign/campaign_engine.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "pmu/pmu.hh"
+#include "sim/etee_memo.hh"
 #include "sim/interval_simulator.hh"
 
 namespace pdnspot
@@ -14,54 +19,80 @@ namespace
 {
 
 /**
- * One worker thread's current Platform. Campaign runs are stamped
- * with a process-unique id so a slot left over from an earlier
- * campaign (worker threads outlive runs) is never mistaken for this
- * run's platform. At most one Platform is retained per worker; it is
- * replaced on the next rebuild and reclaimed at thread exit.
+ * One worker thread's current Platform plus its evaluation memo.
+ * Campaign runs are stamped with a process-unique id so a slot left
+ * over from an earlier campaign (worker threads outlive runs) is
+ * never mistaken for this run's platform. At most one Platform is
+ * retained per worker; it is replaced on the next rebuild and
+ * reclaimed at thread exit. The memo shares the slot's lifetime: it
+ * is only ever valid for the slot's (platform, run) pair.
  */
 struct ThreadPlatformSlot
 {
     uint64_t runId = 0;
     size_t configIdx = 0;
     std::unique_ptr<Platform> platform;
+    std::unique_ptr<EteeMemo> memo;
 };
 
-const Platform &
-threadPlatform(uint64_t run_id, const CampaignSpec &spec,
-               size_t config_idx)
+ThreadPlatformSlot &
+threadSlot(uint64_t run_id, const CampaignSpec &spec,
+           size_t config_idx, bool memoize)
 {
     thread_local ThreadPlatformSlot slot;
     if (!slot.platform || slot.runId != run_id ||
         slot.configIdx != config_idx) {
         slot.platform =
             std::make_unique<Platform>(spec.platforms[config_idx]);
+        slot.memo =
+            memoize ? std::make_unique<EteeMemo>(
+                          slot.platform->operatingPoints(),
+                          slot.platform->config().tdp)
+                    : nullptr;
         slot.runId = run_id;
         slot.configIdx = config_idx;
     }
-    return *slot.platform;
+    return slot;
 }
 
 SimResult
 simulateCell(const Platform &platform, const PhaseTrace &trace,
-             PdnKind kind, const CampaignSpec &spec)
+             PdnKind kind, const CampaignSpec &spec, EteeMemo *memo)
 {
     IntervalSimulator sim(platform.operatingPoints(),
                           platform.config().tdp, spec.tick);
     if (kind == PdnKind::FlexWatts) {
         if (spec.mode == SimMode::Oracle)
-            return sim.runOracle(trace, platform.flexWatts());
+            return sim.runOracle(trace, platform.flexWatts(), memo);
         if (spec.mode == SimMode::Pmu) {
             PmuConfig cfg;
             cfg.tdp = platform.config().tdp;
             Pmu pmu(cfg, platform.predictor());
-            return sim.run(trace, platform.flexWatts(), pmu);
+            return sim.run(trace, platform.flexWatts(), pmu, memo);
         }
     }
     // Non-hybrid PDNs have no mode logic: every mode simulates them
     // statically.
-    return sim.run(trace, platform.pdn(kind));
+    return sim.run(trace, platform.pdn(kind), memo);
 }
+
+/** Collects streamed cells back into an in-memory CampaignResult. */
+class CollectSink : public CampaignSink
+{
+  public:
+    explicit CollectSink(std::vector<CampaignCellResult> &cells)
+        : _cells(cells)
+    {}
+
+    void
+    consume(CampaignCellResult cell) override
+    {
+        _cells.push_back(std::move(cell));
+    }
+
+  private:
+    std::vector<CampaignCellResult> &_cells;
+};
 
 } // namespace
 
@@ -69,8 +100,26 @@ CampaignEngine::CampaignEngine(const ParallelRunner &runner)
     : _runner(runner)
 {}
 
+CampaignEngine &
+CampaignEngine::memoize(bool on)
+{
+    _memoize = on;
+    return *this;
+}
+
 CampaignResult
 CampaignEngine::run(const CampaignSpec &spec) const
+{
+    CampaignResult result;
+    result.cells.reserve(spec.cellCount());
+    CollectSink sink(result.cells);
+    run(spec, sink);
+    return result;
+}
+
+void
+CampaignEngine::run(const CampaignSpec &spec,
+                    CampaignSink &sink) const
 {
     spec.validate();
 
@@ -84,37 +133,102 @@ CampaignEngine::run(const CampaignSpec &spec) const
 
     // Platform-major flattening keeps each worker's platform axis
     // non-decreasing under monotonic range claims, bounding Platform
-    // rebuilds; each SimResult lands at its own index, making the
-    // assembled result independent of scheduling.
-    std::vector<SimResult> sims(n);
+    // rebuilds. Each completed chunk lands in `pending` as a shard
+    // keyed by its begin index; the flush cursor drains the
+    // contiguous prefix into the sink, so delivery order depends
+    // only on (n, grain) — never on scheduling — and a shard's
+    // memory is reclaimed as soon as every earlier cell is done.
+    //
+    // Backpressure: a worker whose shard is not next in line waits
+    // while `pending` is full instead of parking it, so one slow
+    // early chunk cannot make the reorder buffer grow toward the
+    // campaign size. The worker holding the cursor chunk never
+    // waits, and one chunk is processed per claim, so the cursor
+    // always advances: no deadlock. `failed` releases every waiter
+    // once any chunk or the sink has thrown (the campaign is
+    // unwinding; shards are dropped).
+    std::mutex flushMutex;
+    std::condition_variable space;
+    std::map<size_t, std::vector<CampaignCellResult>> pending;
+    const size_t maxPending =
+        4 * std::max<size_t>(1, _runner.threadCount());
+    size_t cursor = 0;
+    bool failed = false;
+
+    auto markFailed = [&] {
+        std::lock_guard<std::mutex> lock(flushMutex);
+        failed = true;
+        pending.clear();
+        space.notify_all();
+    };
+
     _runner.forEachChunked(
         n, _runner.suggestedGrain(n), [&](size_t begin, size_t end) {
-            for (size_t t = begin; t < end; ++t) {
-                size_t p = t / cellsPerPlatform;
-                size_t rest = t % cellsPerPlatform;
-                const Platform &platform =
-                    threadPlatform(runId, spec, p);
-                sims[t] = simulateCell(platform,
-                                       spec.traces[rest / nPdns],
-                                       spec.pdns[rest % nPdns],
-                                       spec);
+            {
+                // Once failing, surface the error instead of
+                // spending the rest of the campaign's CPU time on
+                // cells that will be dropped anyway.
+                std::lock_guard<std::mutex> lock(flushMutex);
+                if (failed)
+                    return;
             }
+            std::vector<CampaignCellResult> shard;
+            shard.reserve(end - begin);
+            try {
+                for (size_t t = begin; t < end; ++t) {
+                    size_t p = t / cellsPerPlatform;
+                    size_t rest = t % cellsPerPlatform;
+                    ThreadPlatformSlot &slot =
+                        threadSlot(runId, spec, p, _memoize);
+                    CampaignCellResult c;
+                    c.trace = spec.traces[rest / nPdns].name();
+                    c.platform = spec.platforms[p].name;
+                    c.pdn = spec.pdns[rest % nPdns];
+                    c.mode = spec.mode;
+                    c.sim = simulateCell(*slot.platform,
+                                         spec.traces[rest / nPdns],
+                                         c.pdn, spec,
+                                         slot.memo.get());
+                    shard.push_back(std::move(c));
+                }
+            } catch (...) {
+                // A stuck cursor must not strand waiting workers.
+                markFailed();
+                throw;
+            }
+
+            std::unique_lock<std::mutex> lock(flushMutex);
+            space.wait(lock, [&] {
+                return failed || begin == cursor ||
+                       pending.size() < maxPending;
+            });
+            if (failed)
+                return; // campaign is already failing; drop the rows
+            pending.emplace(begin, std::move(shard));
+            while (!pending.empty() &&
+                   pending.begin()->first == cursor) {
+                auto node = pending.extract(pending.begin());
+                cursor += node.mapped().size();
+                for (CampaignCellResult &cell : node.mapped()) {
+                    try {
+                        sink.consume(std::move(cell));
+                    } catch (...) {
+                        // Deliver nothing further after a sink
+                        // error; the runner rethrows this to the
+                        // caller once the job drains.
+                        failed = true;
+                        pending.clear();
+                        space.notify_all();
+                        throw;
+                    }
+                }
+            }
+            space.notify_all();
         });
 
-    CampaignResult result;
-    result.cells.reserve(n);
-    for (size_t t = 0; t < n; ++t) {
-        size_t p = t / cellsPerPlatform;
-        size_t rest = t % cellsPerPlatform;
-        CampaignCellResult c;
-        c.trace = spec.traces[rest / nPdns].name();
-        c.platform = spec.platforms[p].name;
-        c.pdn = spec.pdns[rest % nPdns];
-        c.mode = spec.mode;
-        c.sim = sims[t];
-        result.cells.push_back(std::move(c));
-    }
-    return result;
+    if (cursor != n || !pending.empty())
+        panic("CampaignEngine: streamed cell count does not cover "
+              "the campaign");
 }
 
 } // namespace pdnspot

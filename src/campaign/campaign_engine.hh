@@ -27,7 +27,7 @@
 namespace pdnspot
 {
 
-/** Runs campaigns; stateless apart from the thread pool binding. */
+/** Runs campaigns; stateless apart from the pool binding + knobs. */
 class CampaignEngine
 {
   public:
@@ -48,8 +48,30 @@ class CampaignEngine
      */
     CampaignResult run(const CampaignSpec &spec) const;
 
+    /**
+     * Streaming variant: cells are delivered to the sink in the same
+     * canonical order, each as soon as every earlier cell has
+     * completed. Workers emit finished chunks into per-thread shards
+     * and a single flush cursor drains the contiguous prefix;
+     * workers that run far ahead of the cursor wait for it, so the
+     * reorder buffer is bounded by a small multiple of the thread
+     * count — never the campaign size.
+     */
+    void run(const CampaignSpec &spec, CampaignSink &sink) const;
+
+    /**
+     * Enable/disable the per-worker (platform, phase, PDN)
+     * evaluation memo (EteeMemo, on by default). Purely a
+     * performance knob: results are bit-identical either way; off
+     * exists for benchmarking and debugging.
+     */
+    CampaignEngine &memoize(bool on);
+
+    bool memoize() const { return _memoize; }
+
   private:
     const ParallelRunner &_runner;
+    bool _memoize = true;
 };
 
 } // namespace pdnspot

@@ -21,7 +21,92 @@ const char *const csvHeader =
 
 constexpr size_t csvColumns = 12;
 
+/** One cell as one CSV row; shared by writeCsv and CampaignCsvSink
+ * so batch and streaming exports are byte-identical. */
+void
+appendCsvRow(std::string &buf, const CampaignCellResult &c)
+{
+    if (!csvFieldSafe(c.trace) || !csvFieldSafe(c.platform))
+        fatal("CampaignResult: cell names contain CSV "
+              "metacharacters");
+    buf += c.trace;
+    buf += ",";
+    buf += c.platform;
+    buf += ",";
+    buf += pdnKindToString(c.pdn);
+    buf += ",";
+    buf += toString(c.mode);
+    buf += ",";
+    buf += csvExactDouble(inSeconds(c.sim.duration));
+    buf += ",";
+    buf += csvExactDouble(inJoules(c.sim.supplyEnergy));
+    buf += ",";
+    buf += csvExactDouble(inJoules(c.sim.nominalEnergy));
+    buf += ",";
+    buf += csvExactDouble(
+        inSeconds(c.sim.residency(HybridMode::IvrMode)));
+    buf += ",";
+    buf += csvExactDouble(
+        inSeconds(c.sim.residency(HybridMode::LdoMode)));
+    buf += ",";
+    buf += std::to_string(c.sim.modeSwitches);
+    buf += ",";
+    buf += csvExactDouble(inSeconds(c.sim.switchOverheadTime));
+    buf += ",";
+    buf += csvExactDouble(inJoules(c.sim.switchOverheadEnergy));
+    buf += "\n";
+}
+
 } // namespace
+
+CampaignCsvSink::CampaignCsvSink(std::ostream &os) : _os(os)
+{
+    _os << csvHeader << "\n";
+}
+
+void
+CampaignCsvSink::consume(CampaignCellResult cell)
+{
+    std::string row;
+    appendCsvRow(row, cell);
+    _os << row;
+    if (!_os)
+        fatal("CampaignCsvSink: error writing CSV row");
+    ++_rows;
+}
+
+void
+CampaignSummaryBuilder::add(const CampaignCellResult &cell)
+{
+    Totals &t = _totals[static_cast<size_t>(cell.pdn)];
+    ++t.cells;
+    t.supplyEnergy += cell.sim.supplyEnergy;
+    t.nominalEnergy += cell.sim.nominalEnergy;
+    t.modeSwitches += cell.sim.modeSwitches;
+    t.powerSum += cell.sim.averagePower();
+}
+
+std::vector<CampaignPdnSummary>
+CampaignSummaryBuilder::summaries(const BatteryModel &battery) const
+{
+    std::vector<CampaignPdnSummary> out;
+    for (PdnKind kind : allPdnKinds) {
+        const Totals &t = _totals[static_cast<size_t>(kind)];
+        if (t.cells == 0)
+            continue;
+        CampaignPdnSummary s;
+        s.pdn = kind;
+        s.cells = t.cells;
+        s.supplyEnergy = t.supplyEnergy;
+        s.nominalEnergy = t.nominalEnergy;
+        s.modeSwitches = t.modeSwitches;
+        s.meanAveragePower =
+            t.powerSum / static_cast<double>(t.cells);
+        s.batteryLifeHours = battery.lifeHours(s.meanAveragePower);
+        out.push_back(s);
+    }
+    return out;
+}
 
 const CampaignCellResult &
 CampaignResult::cell(const std::string &trace,
@@ -35,34 +120,16 @@ CampaignResult::cell(const std::string &trace,
     }
     fatal(strprintf("CampaignResult: no cell (%s, %s, %s)",
                     trace.c_str(), platform.c_str(),
-                    toString(pdn).c_str()));
+                    pdnKindToString(pdn).c_str()));
 }
 
 std::vector<CampaignPdnSummary>
 CampaignResult::summarizeByPdn(const BatteryModel &battery) const
 {
-    std::vector<CampaignPdnSummary> out;
-    for (PdnKind kind : allPdnKinds) {
-        CampaignPdnSummary s;
-        s.pdn = kind;
-        Power powerSum;
-        for (const CampaignCellResult &c : cells) {
-            if (c.pdn != kind)
-                continue;
-            ++s.cells;
-            s.supplyEnergy += c.sim.supplyEnergy;
-            s.nominalEnergy += c.sim.nominalEnergy;
-            s.modeSwitches += c.sim.modeSwitches;
-            powerSum += c.sim.averagePower();
-        }
-        if (s.cells == 0)
-            continue;
-        s.meanAveragePower =
-            powerSum / static_cast<double>(s.cells);
-        s.batteryLifeHours = battery.lifeHours(s.meanAveragePower);
-        out.push_back(s);
-    }
-    return out;
+    CampaignSummaryBuilder builder;
+    for (const CampaignCellResult &c : cells)
+        builder.add(c);
+    return builder.summaries(battery);
 }
 
 void
@@ -73,37 +140,8 @@ CampaignResult::writeCsv(std::ostream &os) const
     // no stream formatting state can leak into the output.
     std::string buf = csvHeader;
     buf += "\n";
-    for (const CampaignCellResult &c : cells) {
-        if (!csvFieldSafe(c.trace) || !csvFieldSafe(c.platform))
-            fatal("CampaignResult: cell names contain CSV "
-                  "metacharacters");
-        buf += c.trace;
-        buf += ",";
-        buf += c.platform;
-        buf += ",";
-        buf += toString(c.pdn);
-        buf += ",";
-        buf += toString(c.mode);
-        buf += ",";
-        buf += csvExactDouble(inSeconds(c.sim.duration));
-        buf += ",";
-        buf += csvExactDouble(inJoules(c.sim.supplyEnergy));
-        buf += ",";
-        buf += csvExactDouble(inJoules(c.sim.nominalEnergy));
-        buf += ",";
-        buf += csvExactDouble(
-            inSeconds(c.sim.residency(HybridMode::IvrMode)));
-        buf += ",";
-        buf += csvExactDouble(
-            inSeconds(c.sim.residency(HybridMode::LdoMode)));
-        buf += ",";
-        buf += std::to_string(c.sim.modeSwitches);
-        buf += ",";
-        buf += csvExactDouble(inSeconds(c.sim.switchOverheadTime));
-        buf += ",";
-        buf += csvExactDouble(inJoules(c.sim.switchOverheadEnergy));
-        buf += "\n";
-    }
+    for (const CampaignCellResult &c : cells)
+        appendCsvRow(buf, c);
     os << buf;
 }
 

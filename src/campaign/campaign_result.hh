@@ -3,11 +3,19 @@
  * Results of one batch-simulation campaign: per-cell SimResults keyed
  * by (trace, platform, pdn), per-PDN summary statistics, and a CSV
  * export that round-trips bit-exactly through readCsv.
+ *
+ * Besides the in-memory CampaignResult, this header defines the
+ * streaming consumption path: a CampaignSink receives cells in
+ * canonical order as the engine completes them, so million-cell
+ * campaigns can be exported (CampaignCsvSink) and summarized
+ * (CampaignSummaryBuilder) without ever materializing every
+ * SimResult at once.
  */
 
 #ifndef PDNSPOT_CAMPAIGN_CAMPAIGN_RESULT_HH
 #define PDNSPOT_CAMPAIGN_CAMPAIGN_RESULT_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -52,6 +60,76 @@ struct CampaignPdnSummary
             return 0.0;
         return nominalEnergy / supplyEnergy;
     }
+};
+
+/**
+ * Streaming consumer of campaign cells.
+ *
+ * CampaignEngine::run(spec, sink) delivers every cell exactly once,
+ * in the canonical platform-major spec order, as soon as all earlier
+ * cells have completed. Calls are serialized (never concurrent) but
+ * may arrive from different worker threads; an exception thrown by
+ * consume() aborts the campaign and is rethrown to the caller.
+ */
+class CampaignSink
+{
+  public:
+    virtual ~CampaignSink() = default;
+
+    virtual void consume(CampaignCellResult cell) = 0;
+};
+
+/**
+ * Sink that streams cells to an ostream in CSV form. The header row
+ * is written on construction; the accumulated output is byte-
+ * identical to CampaignResult::writeCsv over the same cells, so the
+ * streamed file re-imports through CampaignResult::readCsv.
+ */
+class CampaignCsvSink : public CampaignSink
+{
+  public:
+    explicit CampaignCsvSink(std::ostream &os);
+
+    void consume(CampaignCellResult cell) override;
+
+    /** Data rows written so far (header excluded). */
+    size_t rows() const { return _rows; }
+
+  private:
+    std::ostream &_os;
+    size_t _rows = 0;
+};
+
+/**
+ * Incremental per-PDN aggregation: feed cells in any order, then
+ * project the summaries. CampaignResult::summarizeByPdn is this
+ * builder over all cells; streaming consumers (the pdnspot_campaign
+ * CLI) run it cell by cell instead of retaining them.
+ */
+class CampaignSummaryBuilder
+{
+  public:
+    void add(const CampaignCellResult &cell);
+
+    /**
+     * Summaries of the cells added so far, in allPdnKinds order
+     * (kinds with no cells omitted); battery life projected at each
+     * PDN's mean average power.
+     */
+    std::vector<CampaignPdnSummary>
+    summaries(const BatteryModel &battery) const;
+
+  private:
+    struct Totals
+    {
+        size_t cells = 0;
+        Energy supplyEnergy;
+        Energy nominalEnergy;
+        uint64_t modeSwitches = 0;
+        Power powerSum;
+    };
+
+    std::array<Totals, allPdnKinds.size()> _totals{};
 };
 
 /**

@@ -27,6 +27,19 @@ strprintf(const char *fmt, ...)
     return std::string(buf.data(), static_cast<size_t>(len));
 }
 
+std::string
+joinStrings(const std::vector<std::string> &parts,
+            const char *separator)
+{
+    std::string out;
+    for (const std::string &part : parts) {
+        if (!out.empty())
+            out += separator;
+        out += part;
+    }
+    return out;
+}
+
 void
 fatal(const std::string &msg)
 {

@@ -16,6 +16,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace pdnspot
 {
@@ -41,6 +42,13 @@ class ModelError : public std::logic_error
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * "a, b, c" joining for error messages that list alternatives
+ * (available traces, valid keys, preset names, ...).
+ */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const char *separator = ", ");
 
 /** Report a user-correctable error. Never returns. */
 [[noreturn]] void fatal(const std::string &msg);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -23,35 +24,38 @@ struct ParallelRunner::Job
 namespace
 {
 
-// A pool larger than this brings no fan-out benefit for the modeled
-// workloads and risks exhausting OS thread limits.
-constexpr long maxThreads = 256;
-
 unsigned
 defaultThreadCount()
 {
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)
         hw = 1;
-    if (const char *env = std::getenv("PDNSPOT_THREADS")) {
-        char *end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end == env || *end != '\0' || v < 1) {
-            warn("PDNSPOT_THREADS ignored: must be a positive "
-                 "integer");
-            return hw;
-        }
-        if (v > maxThreads) {
-            warn(strprintf("PDNSPOT_THREADS capped at %ld",
-                           maxThreads));
-            v = maxThreads;
-        }
-        return static_cast<unsigned>(v);
-    }
+    if (const char *env = std::getenv("PDNSPOT_THREADS"))
+        return ParallelRunner::parseThreadCount(env, hw);
     return hw;
 }
 
 } // namespace
+
+unsigned
+ParallelRunner::parseThreadCount(const char *text, unsigned fallback)
+{
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1) {
+        warn(strprintf("PDNSPOT_THREADS=\"%s\" ignored: must be a "
+                       "positive integer; using %u threads",
+                       text, fallback));
+        return fallback;
+    }
+    if (errno == ERANGE || v > static_cast<long>(maxThreadCount)) {
+        warn(strprintf("PDNSPOT_THREADS=\"%s\" capped at %u", text,
+                       maxThreadCount));
+        v = maxThreadCount;
+    }
+    return static_cast<unsigned>(v);
+}
 
 /**
  * Claim and run indices until none remain; returns how many this

@@ -30,6 +30,14 @@ class ParallelRunner
 {
   public:
     /**
+     * Upper bound on pool size: more threads bring no fan-out
+     * benefit for the modeled workloads and risk exhausting OS
+     * thread limits. Oversized requests (PDNSPOT_THREADS or CLI
+     * flags) clamp here.
+     */
+    static constexpr unsigned maxThreadCount = 256;
+
+    /**
      * @param threads worker count; 0 picks the value of the
      * PDNSPOT_THREADS environment variable if set, otherwise
      * std::thread::hardware_concurrency(). A count of 1 runs
@@ -94,6 +102,16 @@ class ParallelRunner
 
     /** Process-wide shared pool (sized per the default policy). */
     static const ParallelRunner &global();
+
+    /**
+     * Parse a PDNSPOT_THREADS value. Non-numeric, zero, negative,
+     * empty or trailing-garbage values warn (naming the offending
+     * value) and return `fallback`; values above the pool cap warn
+     * and clamp. Exposed so the policy is unit-testable without
+     * mutating the environment.
+     */
+    static unsigned parseThreadCount(const char *text,
+                                     unsigned fallback);
 
   private:
     struct Job;

@@ -1,0 +1,264 @@
+#include "config/campaign_config.hh"
+
+#include <initializer_list>
+
+#include "common/logging.hh"
+#include "power/operating_point.hh"
+
+namespace pdnspot
+{
+
+namespace
+{
+
+/**
+ * Reject members outside the schema, pointing at the stray value and
+ * listing what the object accepts.
+ */
+void
+rejectUnknownKeys(const JsonValue &obj, const char *what,
+                  std::initializer_list<const char *> valid)
+{
+    for (const JsonValue::Member &m : obj.members()) {
+        bool known = false;
+        for (const char *key : valid)
+            known = known || m.first == key;
+        if (!known) {
+            std::vector<std::string> names(valid.begin(),
+                                           valid.end());
+            m.second.fail(strprintf(
+                "unknown %s key \"%s\" (valid keys: %s)", what,
+                m.first.c_str(), joinStrings(names).c_str()));
+        }
+    }
+}
+
+SimMode
+simModeFromJson(const JsonValue &v)
+{
+    const std::string &name = v.asString();
+    for (SimMode mode :
+         {SimMode::Static, SimMode::Pmu, SimMode::Oracle}) {
+        if (toString(mode) == name)
+            return mode;
+    }
+    v.fail(strprintf("unknown simulation mode \"%s\" (expected "
+                     "static, pmu or oracle)",
+                     name.c_str()));
+}
+
+PdnKind
+pdnKindFromJson(const JsonValue &v)
+{
+    const std::string &name = v.asString();
+    for (PdnKind kind : allPdnKinds) {
+        if (pdnKindToString(kind) == name)
+            return kind;
+    }
+    std::vector<std::string> names;
+    for (PdnKind kind : allPdnKinds)
+        names.push_back(pdnKindToString(kind));
+    v.fail(strprintf("unknown PDN kind \"%s\" (expected one of %s)",
+                     name.c_str(), joinStrings(names).c_str()));
+}
+
+std::vector<PdnKind>
+pdnsFromJson(const JsonValue &v)
+{
+    if (v.kind() == JsonValue::Kind::String) {
+        if (v.asString() == "all")
+            return {allPdnKinds.begin(), allPdnKinds.end()};
+        v.fail(strprintf("\"pdns\" must be \"all\" or an array of "
+                         "PDN kind names, got \"%s\"",
+                         v.asString().c_str()));
+    }
+    std::vector<PdnKind> out;
+    for (const JsonValue &item : v.items()) {
+        PdnKind kind = pdnKindFromJson(item);
+        for (PdnKind seen : out) {
+            if (seen == kind)
+                item.fail(strprintf("duplicate PDN kind \"%s\"",
+                                    pdnKindToString(kind).c_str()));
+        }
+        out.push_back(kind);
+    }
+    if (out.empty())
+        v.fail("\"pdns\" must name at least one PDN kind");
+    return out;
+}
+
+std::vector<PhaseTrace>
+tracesFromJson(const JsonValue &v)
+{
+    rejectUnknownKeys(v, "\"traces\"", {"library", "seed", "names"});
+
+    uint64_t seed = 42;
+    if (const JsonValue *s = v.find("seed"))
+        seed = static_cast<uint64_t>(
+            s->asInteger("\"seed\"", 0, 1000000000L));
+
+    if (const JsonValue *lib = v.find("library")) {
+        if (lib->asString() != "standard")
+            lib->fail(strprintf("unknown trace library \"%s\" (the "
+                                "only library is \"standard\")",
+                                lib->asString().c_str()));
+    }
+    TraceLibrary library = standardCampaignTraces(seed);
+
+    const JsonValue *names = v.find("names");
+    if (!names)
+        return library.traces();
+
+    std::vector<PhaseTrace> out;
+    for (const JsonValue &item : names->items()) {
+        const PhaseTrace *trace = library.find(item.asString());
+        if (!trace)
+            item.fail(strprintf(
+                "no trace \"%s\" in the standard library (available: "
+                "%s)",
+                item.asString().c_str(),
+                joinStrings(library.names()).c_str()));
+        for (const PhaseTrace &seen : out) {
+            if (seen.name() == trace->name())
+                item.fail(strprintf("trace \"%s\" selected twice",
+                                    trace->name().c_str()));
+        }
+        out.push_back(*trace);
+    }
+    if (out.empty())
+        names->fail("\"names\" must select at least one trace");
+    return out;
+}
+
+std::vector<std::string>
+presetNames()
+{
+    std::vector<std::string> out;
+    for (const PlatformConfig &cfg : allPlatformPresets())
+        out.push_back(cfg.name);
+    return out;
+}
+
+PlatformConfig
+presetFromJson(const JsonValue &v)
+{
+    const std::string &name = v.asString();
+    for (const PlatformConfig &cfg : allPlatformPresets()) {
+        if (cfg.name == name)
+            return cfg;
+    }
+    v.fail(strprintf("unknown platform preset \"%s\" (available: "
+                     "%s)",
+                     name.c_str(),
+                     joinStrings(presetNames()).c_str()));
+}
+
+} // namespace
+
+PlatformConfig
+platformConfigFromJson(const JsonValue &value)
+{
+    if (value.kind() == JsonValue::Kind::String)
+        return presetFromJson(value);
+
+    rejectUnknownKeys(value, "platform",
+                      {"preset", "name", "tdp_w", "supply_v",
+                       "predictor_hysteresis"});
+
+    PlatformConfig cfg;
+    const JsonValue *preset = value.find("preset");
+    if (preset)
+        cfg = presetFromJson(*preset);
+    else if (!value.find("name"))
+        value.fail("inline platforms need a \"name\" (or start from "
+                   "a \"preset\")");
+
+    if (const JsonValue *name = value.find("name"))
+        cfg.name = name->asString();
+    if (const JsonValue *tdp = value.find("tdp_w")) {
+        double w = tdp->asNumber();
+        if (watts(w) < OperatingPointModel::minTdp() ||
+            watts(w) > OperatingPointModel::maxTdp()) {
+            tdp->fail(strprintf(
+                "\"tdp_w\" must be within the supported %g-%g W "
+                "span, got %g",
+                inWatts(OperatingPointModel::minTdp()),
+                inWatts(OperatingPointModel::maxTdp()), w));
+        }
+        cfg.tdp = watts(w);
+    }
+    if (const JsonValue *supply = value.find("supply_v")) {
+        double v = supply->asNumber();
+        if (!(v > 0.0))
+            supply->fail(strprintf("\"supply_v\" must be positive, "
+                                   "got %g",
+                                   v));
+        cfg.pdnParams.supplyVoltage = volts(v);
+    }
+    if (const JsonValue *h = value.find("predictor_hysteresis")) {
+        double margin = h->asNumber();
+        // An absolute ETEE margin: a full unit would mean "never
+        // switch"; anything at or past it is a typo.
+        if (!(margin >= 0.0 && margin < 1.0))
+            h->fail(strprintf("\"predictor_hysteresis\" must be in "
+                              "[0, 1), got %g",
+                              margin));
+        cfg.predictorHysteresis = margin;
+    }
+    return cfg;
+}
+
+CampaignSpec
+campaignSpecFromJson(const JsonValue &root)
+{
+    rejectUnknownKeys(root, "spec",
+                      {"traces", "platforms", "pdns", "mode",
+                       "tick_us"});
+    for (const char *required : {"traces", "platforms", "pdns"}) {
+        if (!root.find(required))
+            root.fail(strprintf("missing required key \"%s\"",
+                                required));
+    }
+
+    CampaignSpec spec;
+    spec.traces = tracesFromJson(*root.find("traces"));
+    for (const JsonValue &item : root.find("platforms")->items()) {
+        PlatformConfig cfg = platformConfigFromJson(item);
+        for (const PlatformConfig &seen : spec.platforms) {
+            if (seen.name == cfg.name)
+                item.fail(strprintf(
+                    "duplicate platform name \"%s\"",
+                    cfg.name.c_str()));
+        }
+        spec.platforms.push_back(std::move(cfg));
+    }
+    spec.pdns = pdnsFromJson(*root.find("pdns"));
+    if (const JsonValue *mode = root.find("mode"))
+        spec.mode = simModeFromJson(*mode);
+    if (const JsonValue *tick = root.find("tick_us")) {
+        double us = tick->asNumber();
+        if (!(us > 0.0))
+            tick->fail(strprintf("\"tick_us\" must be positive, got "
+                                 "%g",
+                                 us));
+        spec.tick = microseconds(us);
+    }
+
+    spec.validate();
+    return spec;
+}
+
+CampaignSpec
+loadCampaignSpec(const std::string &text,
+                 const std::string &sourceName)
+{
+    return campaignSpecFromJson(parseJson(text, sourceName));
+}
+
+CampaignSpec
+loadCampaignSpecFile(const std::string &path)
+{
+    return campaignSpecFromJson(parseJsonFile(path));
+}
+
+} // namespace pdnspot

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Load-and-validate bindings from spec-file JSON to CampaignSpec.
+ *
+ * A campaign spec file describes the same cross-product a C++ caller
+ * would build by hand (campaign_spec.hh) — traces × platforms × PDN
+ * kinds plus a simulation mode — as one JSON object, so studies can
+ * be driven by the pdnspot_campaign CLI (tools/) without writing C++:
+ *
+ * {
+ *   "traces":    {"library": "standard", "seed": 42},
+ *   "platforms": ["fanless-tablet-4w", "ultraportable-15w"],
+ *   "pdns":      "all",
+ *   "mode":      "pmu",
+ *   "tick_us":   50.0
+ * }
+ *
+ * - "traces" names a trace library ("standard" =
+ *   standardCampaignTraces(seed)); an optional "names" array selects
+ *   a subset of it by trace name.
+ * - "platforms" entries are either preset names
+ *   (platformPresetByName) or objects: {"preset": ..., "name": ...,
+ *   "tdp_w": ..., "supply_v": ..., "predictor_hysteresis": ...},
+ *   starting from the named preset (or defaults) and overriding the
+ *   given fields.
+ * - "pdns" is "all" or an array of PDN kind names (pdnKindToString
+ *   spelling: IVR, MBVR, LDO, I+MBVR, FlexWatts).
+ * - "mode" is "static" (default), "pmu" or "oracle"; "tick_us" is
+ *   the simulator step in microseconds (default 50).
+ *
+ * Every binding error — unknown key, bad enum value, missing trace
+ * or preset — is a single-line ConfigError carrying the offending
+ * value's file:line:col position.
+ */
+
+#ifndef PDNSPOT_CONFIG_CAMPAIGN_CONFIG_HH
+#define PDNSPOT_CONFIG_CAMPAIGN_CONFIG_HH
+
+#include <string>
+
+#include "campaign/campaign_spec.hh"
+#include "config/json.hh"
+
+namespace pdnspot
+{
+
+/**
+ * Bind a parsed spec document to a validated CampaignSpec (the
+ * result has passed CampaignSpec::validate()).
+ */
+CampaignSpec campaignSpecFromJson(const JsonValue &root);
+
+/** Parse and bind spec text; `sourceName` labels error positions. */
+CampaignSpec loadCampaignSpec(const std::string &text,
+                              const std::string &sourceName);
+
+/** Parse and bind a spec file. */
+CampaignSpec loadCampaignSpecFile(const std::string &path);
+
+/**
+ * Bind one "platforms" entry: a preset-name string, or an object
+ * starting from {"preset": name} (or PlatformConfig defaults) with
+ * field overrides. Exposed for reuse by future tool surfaces.
+ */
+PlatformConfig platformConfigFromJson(const JsonValue &value);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_CONFIG_CAMPAIGN_CONFIG_HH

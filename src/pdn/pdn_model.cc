@@ -6,7 +6,7 @@ namespace pdnspot
 {
 
 std::string
-toString(PdnKind kind)
+pdnKindToString(PdnKind kind)
 {
     switch (kind) {
       case PdnKind::IVR:
@@ -20,14 +20,14 @@ toString(PdnKind kind)
       case PdnKind::FlexWatts:
         return "FlexWatts";
     }
-    panic("toString: invalid PdnKind");
+    panic("pdnKindToString: invalid PdnKind");
 }
 
 PdnKind
 pdnKindFromString(const std::string &name)
 {
     for (PdnKind kind : allPdnKinds) {
-        if (toString(kind) == name)
+        if (pdnKindToString(kind) == name)
             return kind;
     }
     fatal(strprintf("pdnKindFromString: unknown PDN kind \"%s\"",

@@ -44,10 +44,23 @@ inline constexpr std::array<PdnKind, 3> classicPdnKinds = {
     PdnKind::IVR, PdnKind::MBVR, PdnKind::LDO,
 };
 
-std::string toString(PdnKind kind);
+/**
+ * The canonical spelling of a PDN kind ("IVR", "MBVR", "LDO",
+ * "I+MBVR", "FlexWatts") — the single source of truth for every CSV
+ * export and spec-file binding, and the exact inverse of
+ * pdnKindFromString.
+ */
+std::string pdnKindToString(PdnKind kind);
 
-/** Inverse of toString(PdnKind); fatal() on an unknown name. */
+/** Inverse of pdnKindToString; fatal() on an unknown name. */
 PdnKind pdnKindFromString(const std::string &name);
+
+/** Convenience overload matching toString(SimMode) etc. */
+inline std::string
+toString(PdnKind kind)
+{
+    return pdnKindToString(kind);
+}
 
 /** An off-chip rail description, consumed by the BOM/area models. */
 struct OffChipRail

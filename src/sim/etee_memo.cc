@@ -1,0 +1,103 @@
+#include "sim/etee_memo.hh"
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+EteeMemo::EteeMemo(const OperatingPointModel &opm, Power tdp)
+    : _opm(opm), _tdp(tdp)
+{}
+
+EteeMemo::StateKey
+EteeMemo::keyFor(const TracePhase &phase)
+{
+    return {static_cast<int>(phase.cstate),
+            static_cast<int>(phase.type), phase.ar};
+}
+
+void
+EteeMemo::checkInstance(const PdnModel &pdn)
+{
+    const PdnModel *&slot =
+        _models[static_cast<size_t>(pdn.kind())];
+    if (!slot) {
+        slot = &pdn;
+    } else if (slot != &pdn) {
+        panic(strprintf("EteeMemo: two distinct %s instances in one "
+                        "memo",
+                        pdnKindToString(pdn.kind()).c_str()));
+    }
+}
+
+const PlatformState &
+EteeMemo::state(const TracePhase &phase)
+{
+    StateKey key = keyFor(phase);
+    auto it = _states.find(key);
+    if (it != _states.end()) {
+        ++_hits;
+        return it->second;
+    }
+    OperatingPointModel::Query q;
+    q.tdp = _tdp;
+    q.cstate = phase.cstate;
+    q.type = phase.type;
+    q.ar = phase.ar;
+    ++_stateBuilds;
+    return _states.emplace(key, _opm.build(q)).first->second;
+}
+
+const EteeResult &
+EteeMemo::evaluateSlot(const PdnModel &pdn, const TracePhase &phase,
+                       size_t mode_slot)
+{
+    checkInstance(pdn);
+    EvalKey key{static_cast<int>(pdn.kind()),
+                static_cast<int>(mode_slot), keyFor(phase)};
+    auto it = _evals.find(key);
+    if (it != _evals.end()) {
+        ++_hits;
+        return it->second;
+    }
+    const PlatformState &s = state(phase);
+    ++_pdnEvaluations;
+    EteeResult e;
+    if (mode_slot == defaultModeSlot) {
+        e = pdn.evaluate(s);
+    } else {
+        e = static_cast<const FlexWattsPdn &>(pdn).evaluate(
+            s, static_cast<HybridMode>(mode_slot));
+    }
+    return _evals.emplace(key, e).first->second;
+}
+
+const EteeResult &
+EteeMemo::evaluate(const PdnModel &pdn, const TracePhase &phase)
+{
+    return evaluateSlot(pdn, phase, defaultModeSlot);
+}
+
+const EteeResult &
+EteeMemo::evaluate(const FlexWattsPdn &pdn, const TracePhase &phase,
+                   HybridMode mode)
+{
+    return evaluateSlot(pdn, phase, static_cast<size_t>(mode));
+}
+
+HybridMode
+EteeMemo::bestMode(const FlexWattsPdn &pdn, const TracePhase &phase)
+{
+    checkInstance(pdn);
+    StateKey key = keyFor(phase);
+    auto it = _bestModes.find(key);
+    if (it != _bestModes.end()) {
+        ++_hits;
+        return it->second;
+    }
+    HybridMode mode = pdn.bestMode(state(phase));
+    _bestModes.emplace(key, mode);
+    return mode;
+}
+
+} // namespace pdnspot

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * EteeMemo: a cross-trace memo of operating-point builds and PDN
+ * evaluations.
+ *
+ * Campaign cells revisit the same handful of operating points over
+ * and over — a battery-profile trace repeats its residency states
+ * every frame, and every PDN kind of one platform sees the same
+ * phases — yet the interval simulator's per-trace caching recomputes
+ * them for each cell. An EteeMemo keys PlatformState construction by
+ * a phase's (cstate, type, ar) and PdnModel evaluations by (pdn kind,
+ * mode, phase state), so each distinct state is built and evaluated
+ * once per (platform, PDN) for an entire campaign.
+ *
+ * Both memoized functions are pure, so a memoized run is
+ * bit-identical to an unmemoized one — the campaign determinism
+ * contract is unaffected.
+ *
+ * One memo is valid for exactly one (OperatingPointModel, tdp) pair
+ * and at most one PdnModel instance per kind (the CampaignEngine
+ * keeps one memo per worker alongside its thread-local Platform);
+ * mixing in a different model is a caller bug and panics. Not thread
+ * safe — use one instance per thread.
+ */
+
+#ifndef PDNSPOT_SIM_ETEE_MEMO_HH
+#define PDNSPOT_SIM_ETEE_MEMO_HH
+
+#include <array>
+#include <map>
+
+#include "flexwatts/flexwatts_pdn.hh"
+#include "pdn/pdn_model.hh"
+#include "power/operating_point.hh"
+#include "workload/trace.hh"
+
+namespace pdnspot
+{
+
+/** Memoizes stateFor/evaluate pairs across traces of one platform. */
+class EteeMemo
+{
+  public:
+    EteeMemo(const OperatingPointModel &opm, Power tdp);
+
+    /** Memoized OperatingPointModel::build for a phase. */
+    const PlatformState &state(const TracePhase &phase);
+
+    /** Memoized pdn.evaluate(state(phase)) (default mode logic). */
+    const EteeResult &evaluate(const PdnModel &pdn,
+                               const TracePhase &phase);
+
+    /** Memoized pinned-mode FlexWatts evaluation. */
+    const EteeResult &evaluate(const FlexWattsPdn &pdn,
+                               const TracePhase &phase,
+                               HybridMode mode);
+
+    /** Memoized pdn.bestMode(state(phase)). */
+    HybridMode bestMode(const FlexWattsPdn &pdn,
+                        const TracePhase &phase);
+
+    const OperatingPointModel &opm() const { return _opm; }
+    Power tdp() const { return _tdp; }
+
+    /** Underlying computations performed (i.e. misses). */
+    size_t stateBuilds() const { return _stateBuilds; }
+    size_t pdnEvaluations() const { return _pdnEvaluations; }
+
+    /** Lookups answered from the memo. */
+    size_t hits() const { return _hits; }
+
+  private:
+    /** The phase fields PlatformState construction depends on. */
+    struct StateKey
+    {
+        int cstate;
+        int type;
+        double ar;
+
+        auto operator<=>(const StateKey &) const = default;
+    };
+
+    /** Mode slot per PdnKind: the two pinned hybrid modes + default. */
+    static constexpr size_t defaultModeSlot = 2;
+    static constexpr size_t modeSlots = 3;
+
+    struct EvalKey
+    {
+        int pdn;
+        int mode;
+        StateKey state;
+
+        auto operator<=>(const EvalKey &) const = default;
+    };
+
+    static StateKey keyFor(const TracePhase &phase);
+    void checkInstance(const PdnModel &pdn);
+    const EteeResult &evaluateSlot(const PdnModel &pdn,
+                                   const TracePhase &phase,
+                                   size_t mode_slot);
+
+    const OperatingPointModel &_opm;
+    Power _tdp;
+
+    /** First PdnModel seen per kind; aliasing guard. */
+    std::array<const PdnModel *, allPdnKinds.size()> _models{};
+
+    std::map<StateKey, PlatformState> _states;
+    std::map<EvalKey, EteeResult> _evals;
+    std::map<StateKey, HybridMode> _bestModes;
+
+    size_t _stateBuilds = 0;
+    size_t _pdnEvaluations = 0;
+    size_t _hits = 0;
+};
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_SIM_ETEE_MEMO_HH

@@ -27,13 +27,23 @@ IntervalSimulator::stateFor(const TracePhase &phase) const
     return _opm.build(q);
 }
 
-SimResult
-IntervalSimulator::run(const PhaseTrace &trace,
-                       const PdnModel &pdn) const
+void
+IntervalSimulator::checkMemo(const EteeMemo *memo) const
 {
+    if (memo && (&memo->opm() != &_opm || memo->tdp() != _tdp))
+        panic("IntervalSimulator: EteeMemo built for a different "
+              "(operating-point model, TDP) pair");
+}
+
+SimResult
+IntervalSimulator::run(const PhaseTrace &trace, const PdnModel &pdn,
+                       EteeMemo *memo) const
+{
+    checkMemo(memo);
     SimResult result;
     for (const TracePhase &phase : trace.phases()) {
-        EteeResult e = pdn.evaluate(stateFor(phase));
+        EteeResult e = memo ? memo->evaluate(pdn, phase)
+                            : pdn.evaluate(stateFor(phase));
         result.duration += phase.duration;
         result.supplyEnergy += e.inputPower * phase.duration;
         result.nominalEnergy += e.nominalPower * phase.duration;
@@ -43,13 +53,22 @@ IntervalSimulator::run(const PhaseTrace &trace,
 
 SimResult
 IntervalSimulator::runOracle(const PhaseTrace &trace,
-                             const FlexWattsPdn &pdn) const
+                             const FlexWattsPdn &pdn,
+                             EteeMemo *memo) const
 {
+    checkMemo(memo);
     SimResult result;
     for (const TracePhase &phase : trace.phases()) {
-        PlatformState s = stateFor(phase);
-        HybridMode mode = pdn.bestMode(s);
-        EteeResult e = pdn.evaluate(s, mode);
+        HybridMode mode;
+        EteeResult e;
+        if (memo) {
+            mode = memo->bestMode(pdn, phase);
+            e = memo->evaluate(pdn, phase, mode);
+        } else {
+            PlatformState s = stateFor(phase);
+            mode = pdn.bestMode(s);
+            e = pdn.evaluate(s, mode);
+        }
         result.duration += phase.duration;
         result.supplyEnergy += e.inputPower * phase.duration;
         result.nominalEnergy += e.nominalPower * phase.duration;
@@ -61,23 +80,30 @@ IntervalSimulator::runOracle(const PhaseTrace &trace,
 
 SimResult
 IntervalSimulator::run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
-                       Pmu &pmu) const
+                       Pmu &pmu, EteeMemo *memo) const
 {
+    checkMemo(memo);
     SimResult result;
 
     // Per-(phase, mode) evaluation cache: the platform state is
     // constant within a phase, so only 2 evaluations per phase are
-    // ever needed regardless of tick resolution.
+    // ever needed regardless of tick resolution. A supplied EteeMemo
+    // subsumes it (and additionally shares evaluations across
+    // repeated phases and traces).
     struct PhaseEval
     {
         PlatformState state;
         std::array<bool, 2> valid{};
         std::array<EteeResult, 2> etee;
     };
-    std::vector<PhaseEval> cache(trace.phases().size());
+    std::vector<PhaseEval> cache(
+        memo ? 0 : trace.phases().size());
 
     auto evaluate = [&](size_t phase_idx, HybridMode mode)
         -> const EteeResult & {
+        if (memo)
+            return memo->evaluate(pdn, trace.phases()[phase_idx],
+                                  mode);
         PhaseEval &pe = cache[phase_idx];
         size_t m = static_cast<size_t>(mode);
         if (!pe.valid[m]) {

@@ -19,13 +19,23 @@
 #include "pdn/pdn_model.hh"
 #include "pmu/pmu.hh"
 #include "power/operating_point.hh"
+#include "sim/etee_memo.hh"
 #include "sim/sim_stats.hh"
 #include "workload/trace.hh"
 
 namespace pdnspot
 {
 
-/** Steps traces through PDN models with configurable resolution. */
+/**
+ * Steps traces through PDN models with configurable resolution.
+ *
+ * Every run method takes an optional EteeMemo: when supplied, state
+ * construction and PDN evaluations are looked up there, sharing work
+ * across traces and PDN kinds of the same platform (the campaign
+ * engine passes one memo per worker). The memo must have been built
+ * for this simulator's (operating-point model, TDP) pair; results
+ * are bit-identical with and without it.
+ */
 class IntervalSimulator
 {
   public:
@@ -38,7 +48,8 @@ class IntervalSimulator
                       Time tick = microseconds(50.0));
 
     /** Simulate a static PDN (no mode logic). */
-    SimResult run(const PhaseTrace &trace, const PdnModel &pdn) const;
+    SimResult run(const PhaseTrace &trace, const PdnModel &pdn,
+                  EteeMemo *memo = nullptr) const;
 
     /**
      * Simulate FlexWatts under PMU control: the predictor sees the
@@ -47,7 +58,7 @@ class IntervalSimulator
      * counterpart of the oracle evaluation.
      */
     SimResult run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
-                  Pmu &pmu) const;
+                  Pmu &pmu, EteeMemo *memo = nullptr) const;
 
     /**
      * Simulate FlexWatts with an oracle that knows each phase's best
@@ -55,10 +66,12 @@ class IntervalSimulator
      * predictor-ablation bench.
      */
     SimResult runOracle(const PhaseTrace &trace,
-                        const FlexWattsPdn &pdn) const;
+                        const FlexWattsPdn &pdn,
+                        EteeMemo *memo = nullptr) const;
 
   private:
     PlatformState stateFor(const TracePhase &phase) const;
+    void checkMemo(const EteeMemo *memo) const;
 
     const OperatingPointModel &_opm;
     Power _tdp;

@@ -42,6 +42,17 @@ TraceLibrary::find(const std::string &name) const
     return nullptr;
 }
 
+const PhaseTrace &
+TraceLibrary::get(const std::string &name) const
+{
+    if (const PhaseTrace *t = find(name))
+        return *t;
+    std::string available = joinStrings(names());
+    fatal(strprintf("TraceLibrary: no trace \"%s\" (available: %s)",
+                    name.c_str(),
+                    available.empty() ? "none" : available.c_str()));
+}
+
 TraceLibrary
 standardCampaignTraces(uint64_t seed)
 {

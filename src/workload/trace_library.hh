@@ -39,6 +39,12 @@ class TraceLibrary
     /** Lookup by name; nullptr when absent. */
     const PhaseTrace *find(const std::string &name) const;
 
+    /**
+     * Lookup by name; fatal() when absent, naming the missing trace
+     * and listing what the library holds.
+     */
+    const PhaseTrace &get(const std::string &name) const;
+
     size_t size() const { return _traces.size(); }
     bool empty() const { return _traces.empty(); }
 

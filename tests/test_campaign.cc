@@ -13,6 +13,8 @@
 
 #include "campaign/campaign_engine.hh"
 #include "common/logging.hh"
+#include "sim/etee_memo.hh"
+#include "sim/interval_simulator.hh"
 #include "workload/trace_generator.hh"
 
 namespace pdnspot
@@ -225,6 +227,160 @@ TEST(CampaignResultTest, ReadCsvRejectsMalformedInput)
     bad.replace(bad.find("IVR"), 3, "XXX");
     std::istringstream badKind(bad);
     EXPECT_THROW(CampaignResult::readCsv(badKind), ConfigError);
+}
+
+TEST(CampaignEngineTest, StreamingSinkReceivesCanonicalOrder)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    CampaignResult batch = CampaignEngine().run(spec);
+
+    /** Records cells and the thread-safety contract violations. */
+    class RecordingSink : public CampaignSink
+    {
+      public:
+        void
+        consume(CampaignCellResult cell) override
+        {
+            cells.push_back(std::move(cell));
+        }
+
+        std::vector<CampaignCellResult> cells;
+    };
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        RecordingSink sink;
+        CampaignEngine(runner).run(spec, sink);
+        EXPECT_EQ(sink.cells, batch.cells)
+            << threads << " threads";
+    }
+}
+
+TEST(CampaignEngineTest, StreamedCsvMatchesBatchCsvAtAnyThreadCount)
+{
+    for (SimMode mode :
+         {SimMode::Static, SimMode::Pmu, SimMode::Oracle}) {
+        CampaignSpec spec = smallSpec(mode);
+        std::stringstream batch;
+        CampaignEngine().run(spec).writeCsv(batch);
+
+        for (unsigned threads : {1u, 4u}) {
+            ParallelRunner runner(threads);
+            std::stringstream streamed;
+            CampaignCsvSink sink(streamed);
+            CampaignEngine(runner).run(spec, sink);
+            EXPECT_EQ(streamed.str(), batch.str())
+                << toString(mode) << " mode, " << threads
+                << " threads";
+            EXPECT_EQ(sink.rows(), spec.cellCount());
+        }
+    }
+}
+
+TEST(CampaignEngineTest, SinkExceptionAbortsTheCampaign)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+
+    class FailingSink : public CampaignSink
+    {
+      public:
+        void
+        consume(CampaignCellResult cell) override
+        {
+            ++delivered;
+            if (cell.pdn == PdnKind::LDO)
+                throw std::runtime_error("sink full");
+        }
+
+        size_t delivered = 0;
+    };
+
+    ParallelRunner runner(4);
+    FailingSink sink;
+    EXPECT_THROW(CampaignEngine(runner).run(spec, sink),
+                 std::runtime_error);
+    // Nothing may reach the sink after the failure.
+    EXPECT_LE(sink.delivered, 2u);
+}
+
+TEST(CampaignEngineTest, MemoizedRunsAreBitIdenticalToUnmemoized)
+{
+    for (SimMode mode :
+         {SimMode::Static, SimMode::Pmu, SimMode::Oracle}) {
+        CampaignSpec spec = smallSpec(mode);
+        for (unsigned threads : {1u, 4u}) {
+            ParallelRunner runner(threads);
+            CampaignResult with =
+                CampaignEngine(runner).memoize(true).run(spec);
+            CampaignResult without =
+                CampaignEngine(runner).memoize(false).run(spec);
+            EXPECT_EQ(with, without)
+                << toString(mode) << " mode, " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(EteeMemoTest, SharesEvaluationsAcrossRepeatedPhases)
+{
+    // 16 battery-profile frames cycle through the same few states;
+    // the memo must collapse them to one evaluation each.
+    Platform platform(ultraportablePreset());
+    PhaseTrace trace = traceFromBatteryProfile(
+        videoPlayback(), milliseconds(33.3), 16);
+    IntervalSimulator sim(platform.operatingPoints(),
+                          platform.config().tdp);
+
+    EteeMemo memo(platform.operatingPoints(),
+                  platform.config().tdp);
+    SimResult memoized =
+        sim.run(trace, platform.pdn(PdnKind::IVR), &memo);
+    SimResult plain = sim.run(trace, platform.pdn(PdnKind::IVR));
+
+    EXPECT_EQ(memoized, plain);
+    EXPECT_GT(memo.hits(), 0u);
+    EXPECT_LT(memo.pdnEvaluations(), trace.phases().size() / 4);
+
+    // A second PDN kind reuses the memoized platform states.
+    size_t builds = memo.stateBuilds();
+    SimResult ldoMemoized =
+        sim.run(trace, platform.pdn(PdnKind::LDO), &memo);
+    EXPECT_EQ(ldoMemoized,
+              sim.run(trace, platform.pdn(PdnKind::LDO)));
+    EXPECT_EQ(memo.stateBuilds(), builds);
+}
+
+TEST(EteeMemoTest, OracleAndPinnedModesMemoizeIndependently)
+{
+    Platform platform(fanlessTabletPreset());
+    TraceGenerator gen(5);
+    PhaseTrace trace =
+        gen.burstyCompute(4, milliseconds(5.0), milliseconds(15.0));
+    IntervalSimulator sim(platform.operatingPoints(),
+                          platform.config().tdp);
+
+    EteeMemo memo(platform.operatingPoints(),
+                  platform.config().tdp);
+    EXPECT_EQ(sim.runOracle(trace, platform.flexWatts(), &memo),
+              sim.runOracle(trace, platform.flexWatts()));
+
+    // FlexWatts default evaluation (static mode) must not collide
+    // with the pinned-mode entries the oracle run created.
+    EXPECT_EQ(sim.run(trace, platform.flexWatts(), &memo),
+              sim.run(trace, platform.flexWatts()));
+}
+
+TEST(EteeMemoTest, RejectsMismatchedSimulator)
+{
+    Platform platform(ultraportablePreset());
+    TraceGenerator gen(5);
+    PhaseTrace trace =
+        gen.burstyCompute(2, milliseconds(5.0), milliseconds(5.0));
+    EteeMemo memo(platform.operatingPoints(), watts(4.0));
+    IntervalSimulator sim(platform.operatingPoints(),
+                          platform.config().tdp);
+    EXPECT_THROW(sim.run(trace, platform.pdn(PdnKind::IVR), &memo),
+                 ModelError);
 }
 
 TEST(CampaignResultTest, SummaryAggregatesMatchManualTotals)

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Spec-file binding tests: a good spec resolves to the same campaign
+ * a C++ caller would build, and every malformed input — unknown
+ * keys, bad enum values, missing traces or presets — produces a
+ * single-line actionable ConfigError carrying file:line:col.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign_engine.hh"
+#include "common/logging.hh"
+#include "config/campaign_config.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+CampaignSpec
+load(const std::string &text)
+{
+    return loadCampaignSpec(text, "spec.json");
+}
+
+/**
+ * The satellite error contract: one line, a spec.json:line:col
+ * position, and the interesting part of the message.
+ */
+void
+expectSpecError(const std::string &text, const std::string &needle,
+                const std::string &position = "spec.json:")
+{
+    try {
+        load(text);
+        FAIL() << "no error for: " << text;
+    } catch (const ConfigError &e) {
+        std::string what = e.what();
+        EXPECT_EQ(what.find('\n'), std::string::npos)
+            << "multi-line error: " << what;
+        EXPECT_NE(what.find(position), std::string::npos)
+            << "expected position \"" << position
+            << "\" in: " << what;
+        EXPECT_NE(what.find(needle), std::string::npos)
+            << "expected \"" << needle << "\" in: " << what;
+    }
+}
+
+const char *const goodSpec = R"({
+  "traces": {"library": "standard", "seed": 42},
+  "platforms": ["fanless-tablet-4w", "ultraportable-15w",
+                "h-series-45w"],
+  "pdns": "all",
+  "mode": "pmu",
+  "tick_us": 50.0
+})";
+
+TEST(CampaignConfigTest, GoodSpecMatchesCppConstruction)
+{
+    CampaignSpec fromFile = load(goodSpec);
+
+    CampaignSpec fromCpp;
+    fromCpp.addTraces(standardCampaignTraces(42));
+    fromCpp.platforms = allPlatformPresets();
+    fromCpp.pdns.assign(allPdnKinds.begin(), allPdnKinds.end());
+    fromCpp.mode = SimMode::Pmu;
+
+    EXPECT_EQ(fromFile.traces, fromCpp.traces);
+    ASSERT_EQ(fromFile.platforms.size(), fromCpp.platforms.size());
+    for (size_t i = 0; i < fromFile.platforms.size(); ++i) {
+        EXPECT_EQ(fromFile.platforms[i].name,
+                  fromCpp.platforms[i].name);
+        EXPECT_EQ(fromFile.platforms[i].tdp,
+                  fromCpp.platforms[i].tdp);
+        EXPECT_EQ(fromFile.platforms[i].pdnParams.supplyVoltage,
+                  fromCpp.platforms[i].pdnParams.supplyVoltage);
+    }
+    EXPECT_EQ(fromFile.pdns, fromCpp.pdns);
+    EXPECT_EQ(fromFile.mode, fromCpp.mode);
+    EXPECT_EQ(fromFile.tick, fromCpp.tick);
+}
+
+TEST(CampaignConfigTest, DefaultsModeTickAndSeed)
+{
+    CampaignSpec spec = load(R"({
+      "traces": {},
+      "platforms": ["ultraportable-15w"],
+      "pdns": ["IVR"]
+    })");
+    EXPECT_EQ(spec.mode, SimMode::Static);
+    EXPECT_EQ(spec.tick, microseconds(50.0));
+    EXPECT_EQ(spec.traces, standardCampaignTraces(42).traces());
+}
+
+TEST(CampaignConfigTest, SelectsTraceSubsetInListedOrder)
+{
+    CampaignSpec spec = load(R"({
+      "traces": {"names": ["day-in-the-life", "bursty-compute"]},
+      "platforms": ["ultraportable-15w"],
+      "pdns": ["IVR", "FlexWatts"]
+    })");
+    ASSERT_EQ(spec.traces.size(), 2u);
+    EXPECT_EQ(spec.traces[0].name(), "day-in-the-life");
+    EXPECT_EQ(spec.traces[1].name(), "bursty-compute");
+}
+
+TEST(CampaignConfigTest, BindsInlineAndPresetDerivedPlatforms)
+{
+    CampaignSpec spec = load(R"({
+      "traces": {"names": ["bursty-compute"]},
+      "platforms": [
+        {"preset": "ultraportable-15w", "name": "uv-12w",
+         "tdp_w": 12.0},
+        {"name": "bare-20w", "tdp_w": 20.0, "supply_v": 8.0,
+         "predictor_hysteresis": 0.01}
+      ],
+      "pdns": ["IVR"]
+    })");
+    ASSERT_EQ(spec.platforms.size(), 2u);
+    EXPECT_EQ(spec.platforms[0].name, "uv-12w");
+    EXPECT_EQ(spec.platforms[0].tdp, watts(12.0));
+    // Unoverridden preset fields carry through.
+    EXPECT_EQ(spec.platforms[0].pdnParams.supplyVoltage,
+              ultraportablePreset().pdnParams.supplyVoltage);
+    EXPECT_EQ(spec.platforms[1].name, "bare-20w");
+    EXPECT_EQ(spec.platforms[1].pdnParams.supplyVoltage, volts(8.0));
+    EXPECT_DOUBLE_EQ(spec.platforms[1].predictorHysteresis, 0.01);
+}
+
+TEST(CampaignConfigTest, RejectsUnknownKeysEverywhere)
+{
+    expectSpecError(R"({"traces": {}, "platforms": ["x"],
+                        "pdns": "all", "bogus": 1})",
+                    "unknown spec key \"bogus\"");
+    expectSpecError(R"({"traces": {"frobnicate": 1},
+                        "platforms": ["x"], "pdns": "all"})",
+                    "unknown \"traces\" key \"frobnicate\"");
+    expectSpecError(R"({"traces": {}, "pdns": "all", "platforms":
+                        [{"name": "a", "tdp": 15}]})",
+                    "unknown platform key \"tdp\"");
+}
+
+TEST(CampaignConfigTest, RejectsMissingRequiredKeys)
+{
+    expectSpecError(R"({"platforms": ["x"], "pdns": "all"})",
+                    "missing required key \"traces\"");
+    expectSpecError(R"({"traces": {}, "pdns": "all"})",
+                    "missing required key \"platforms\"");
+    expectSpecError(R"({"traces": {}, "platforms": ["x"]})",
+                    "missing required key \"pdns\"");
+}
+
+TEST(CampaignConfigTest, RejectsBadEnumValues)
+{
+    expectSpecError(R"({"traces": {}, "platforms":
+                        ["ultraportable-15w"],
+                        "pdns": ["IVR", "XVR"]})",
+                    "unknown PDN kind \"XVR\"");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        ["ultraportable-15w"], "pdns": "some"})",
+                    "\"all\" or an array");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        ["ultraportable-15w"], "pdns": ["IVR"],
+                        "mode": "turbo"})",
+                    "unknown simulation mode \"turbo\"");
+    expectSpecError(R"({"traces": {"library": "exotic"},
+                        "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "unknown trace library \"exotic\"");
+}
+
+TEST(CampaignConfigTest, RejectsMissingTracesAndPresets)
+{
+    expectSpecError(R"({"traces": {"names": ["no-such-trace"]},
+                        "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "no trace \"no-such-trace\"");
+    expectSpecError(R"({"traces": {}, "platforms": ["atx-750w"],
+                        "pdns": ["IVR"]})",
+                    "unknown platform preset \"atx-750w\"");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        [{"tdp_w": 15.0}], "pdns": ["IVR"]})",
+                    "need a \"name\"");
+}
+
+TEST(CampaignConfigTest, RejectsBadScalars)
+{
+    expectSpecError(R"({"traces": {"seed": 2.5},
+                        "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "\"seed\" must be an integer");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        ["ultraportable-15w"], "pdns": ["IVR"],
+                        "tick_us": -1})",
+                    "\"tick_us\" must be positive");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        ["ultraportable-15w"], "pdns": []})",
+                    "at least one PDN kind");
+    expectSpecError(R"({"traces": {"names": []},
+                        "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "at least one trace");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        ["ultraportable-15w"],
+                        "pdns": {"kind": "IVR"}})",
+                    "expected array, got object");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        [{"preset": "ultraportable-15w",
+                          "name": "x", "supply_v": 0.0}],
+                        "pdns": ["IVR"]})",
+                    "\"supply_v\" must be positive");
+    expectSpecError(R"({"traces": {}, "platforms":
+                        [{"preset": "ultraportable-15w",
+                          "name": "x",
+                          "predictor_hysteresis": -0.1}],
+                        "pdns": ["IVR"]})",
+                    "\"predictor_hysteresis\" must be in [0, 1)");
+}
+
+TEST(CampaignConfigTest, MalformedJsonCarriesPosition)
+{
+    expectSpecError("{\"traces\": {},\n  \"platforms\": [,]}",
+                    "unexpected character", "spec.json:2:17");
+}
+
+TEST(CampaignConfigTest, DuplicatesFailAtTheOffendingValue)
+{
+    expectSpecError(R"({"traces": {},
+                        "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR", "IVR"]})",
+                    "duplicate PDN kind \"IVR\"");
+    expectSpecError(R"({"traces": {"names": ["bursty-compute",
+                                             "bursty-compute"]},
+                        "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "selected twice");
+    expectSpecError(R"({"traces": {},
+                        "platforms": ["ultraportable-15w",
+                                      {"preset": "ultraportable-15w"}],
+                        "pdns": ["IVR"]})",
+                    "duplicate platform name \"ultraportable-15w\"");
+    expectSpecError(R"({"traces": {},
+                        "platforms": [{"preset": "ultraportable-15w",
+                                       "name": "hot", "tdp_w": 90}],
+                        "pdns": ["IVR"]})",
+                    "\"tdp_w\" must be within");
+}
+
+TEST(CampaignConfigTest, LoadedSpecRunsEndToEnd)
+{
+    CampaignSpec spec = load(R"({
+      "traces": {"names": ["bursty-compute"]},
+      "platforms": [{"preset": "fanless-tablet-4w",
+                     "name": "tablet"}],
+      "pdns": ["IVR", "FlexWatts"],
+      "mode": "oracle"
+    })");
+    CampaignResult result = CampaignEngine().run(spec);
+    ASSERT_EQ(result.cells.size(), 2u);
+    EXPECT_EQ(result.cells[0].platform, "tablet");
+    EXPECT_GT(result.cells[0].sim.supplyEnergy, joules(0.0));
+}
+
+} // namespace
+} // namespace pdnspot

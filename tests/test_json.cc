@@ -1,0 +1,182 @@
+/**
+ * @file
+ * JSON-subset parser/serializer tests: value coverage, position
+ * tracking, the single-line file:line:col error contract, and the
+ * write -> parse round-trip.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "config/json.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+/** Parse with a fixed source label. */
+JsonValue
+parse(const std::string &text)
+{
+    return parseJson(text, "test.json");
+}
+
+/**
+ * The error contract: parsing must throw a ConfigError whose message
+ * is a single line containing `needle` and a test.json:line:col
+ * position.
+ */
+void
+expectParseError(const std::string &text, const std::string &needle)
+{
+    try {
+        parse(text);
+        FAIL() << "no error for: " << text;
+    } catch (const ConfigError &e) {
+        std::string what = e.what();
+        EXPECT_EQ(what.find('\n'), std::string::npos)
+            << "multi-line error: " << what;
+        EXPECT_NE(what.find("test.json:"), std::string::npos)
+            << "no position in: " << what;
+        EXPECT_NE(what.find(needle), std::string::npos)
+            << "expected \"" << needle << "\" in: " << what;
+    }
+}
+
+TEST(JsonParserTest, ParsesScalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_EQ(parse("true").asBool(), true);
+    EXPECT_EQ(parse("false").asBool(), false);
+    EXPECT_DOUBLE_EQ(parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parse("-2.5e3").asNumber(), -2500.0);
+    EXPECT_DOUBLE_EQ(parse("0.125").asNumber(), 0.125);
+    EXPECT_EQ(parse("\"hello\"").asString(), "hello");
+}
+
+TEST(JsonParserTest, ParsesStringEscapes)
+{
+    EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").asString(),
+              "a\"b\\c/d\n\t");
+    EXPECT_EQ(parse(R"("\u0041\u00e9")").asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParserTest, ParsesNestedContainers)
+{
+    JsonValue v = parse(R"({"a": [1, 2, {"b": true}], "c": {}})");
+    ASSERT_EQ(v.kind(), JsonValue::Kind::Object);
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asNumber(), 1.0);
+    EXPECT_EQ(a->items()[2].find("b")->asBool(), true);
+    EXPECT_TRUE(v.find("c")->members().empty());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, PreservesMemberOrder)
+{
+    JsonValue v = parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonParserTest, TracksPositions)
+{
+    JsonValue v = parse("{\n  \"a\": [10,\n        20]\n}");
+    EXPECT_EQ(v.where(), "test.json:1:1");
+    const JsonValue &arr = *v.find("a");
+    EXPECT_EQ(arr.where(), "test.json:2:8");
+    EXPECT_EQ(arr.items()[0].where(), "test.json:2:9");
+    EXPECT_EQ(arr.items()[1].where(), "test.json:3:9");
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments)
+{
+    expectParseError("", "expected a value");
+    expectParseError("{", "end of input");
+    expectParseError("[1, 2", "end of input");
+    expectParseError("{\"a\" 1}", "expected ':'");
+    expectParseError("{\"a\": 1,}", "string object key");
+    expectParseError("[1, 2,]", "unexpected character");
+    expectParseError("tru", "keyword");
+    expectParseError("01", "leading zeros");
+    expectParseError("1.e3", "malformed number");
+    expectParseError("\"abc", "unterminated string");
+    expectParseError("\"a\\q\"", "unknown escape");
+    expectParseError("\"\\ud800x\"", "surrogate");
+    expectParseError("{} extra", "trailing characters");
+    expectParseError("{\"a\": 1, \"a\": 2}", "duplicate object key");
+}
+
+TEST(JsonParserTest, ErrorsPointAtTheOffendingLine)
+{
+    try {
+        parse("{\n  \"ok\": 1,\n  \"bad\": bogus\n}");
+        FAIL();
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("test.json:3:10"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonParserTest, RejectsRunawayNesting)
+{
+    std::string deep(100, '[');
+    expectParseError(deep, "nesting");
+}
+
+TEST(JsonValueTest, TypeMismatchErrorsNameBothKinds)
+{
+    try {
+        parse("{\"a\": \"text\"}").find("a")->asNumber();
+        FAIL();
+    } catch (const ConfigError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("expected number, got string"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("test.json:1:7"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(JsonValueTest, AsIntegerRejectsFractionsAndRange)
+{
+    EXPECT_EQ(parse("42").asInteger("x", 0, 100), 42);
+    EXPECT_THROW(parse("2.5").asInteger("x", 0, 100), ConfigError);
+    EXPECT_THROW(parse("101").asInteger("x", 0, 100), ConfigError);
+    EXPECT_THROW(parse("-1").asInteger("x", 0, 100), ConfigError);
+}
+
+TEST(JsonWriterTest, RoundTripsThroughTheParser)
+{
+    const std::string text =
+        R"({"name": "spec", "n": 3.25, "flags": [true, false, null],)"
+        R"( "nested": {"empty": [], "s": "a\nb"}})";
+    JsonValue v = parse(text);
+    JsonValue reparsed = parseJson(writeJson(v), "round.json");
+    EXPECT_EQ(writeJson(reparsed), writeJson(v));
+    EXPECT_EQ(reparsed.find("n")->asNumber(), 3.25);
+    EXPECT_EQ(reparsed.find("nested")->find("s")->asString(),
+              "a\nb");
+}
+
+TEST(JsonWriterTest, SerializesConstructedValues)
+{
+    JsonValue v = JsonValue::makeObject(
+        {{"a", JsonValue::makeNumber(1.5)},
+         {"b", JsonValue::makeArray({JsonValue::makeString("x"),
+                                     JsonValue::makeBool(true)})}});
+    EXPECT_EQ(writeJson(v), "{\n  \"a\": 1.5,\n  \"b\": [\n    "
+                            "\"x\",\n    true\n  ]\n}\n");
+}
+
+} // namespace
+} // namespace pdnspot

@@ -182,6 +182,28 @@ TEST(ParallelRunnerTest, RejectsMalformedThreadsEnvVar)
     ::unsetenv("PDNSPOT_THREADS");
 }
 
+TEST(ParallelRunnerTest, ParseThreadCountPolicy)
+{
+    // Valid values parse; the fallback is untouched.
+    EXPECT_EQ(ParallelRunner::parseThreadCount("1", 5), 1u);
+    EXPECT_EQ(ParallelRunner::parseThreadCount("12", 5), 12u);
+
+    // Non-numeric, zero, negative, fractional, hex, empty and
+    // trailing-garbage values all warn and fall back.
+    for (const char *bad : {"", " ", "0", "-3", "2.5", "1e3", "4 ",
+                            "0x8", "eight", "+"}) {
+        EXPECT_EQ(ParallelRunner::parseThreadCount(bad, 7), 7u)
+            << "value \"" << bad << "\"";
+    }
+
+    // Overflowing and absurd values clamp to the pool cap.
+    EXPECT_EQ(ParallelRunner::parseThreadCount("9999999999", 7),
+              256u);
+    EXPECT_EQ(ParallelRunner::parseThreadCount(
+                  "99999999999999999999999999", 7),
+              256u);
+}
+
 TEST(ParallelRunnerTest, CapsAbsurdThreadsEnvVar)
 {
     ::setenv("PDNSPOT_THREADS", "9999999999", 1);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "flexwatts/pdn_factory.hh"
 #include "pdn/ivr_pdn.hh"
 #include "pdn/ldo_pdn.hh"
@@ -44,6 +45,17 @@ TEST_F(PdnTopologies, FactoryProducesAllKinds)
         EXPECT_EQ(pdn->kind(), kind);
         EXPECT_EQ(pdn->name(), toString(kind));
     }
+}
+
+TEST_F(PdnTopologies, KindNamesRoundTripFromOneSourceOfTruth)
+{
+    for (PdnKind kind : allPdnKinds) {
+        EXPECT_EQ(pdnKindFromString(pdnKindToString(kind)), kind);
+        // The toString overload is an alias, not a second spelling.
+        EXPECT_EQ(toString(kind), pdnKindToString(kind));
+    }
+    EXPECT_THROW(pdnKindFromString("ivr"), ConfigError);
+    EXPECT_THROW(pdnKindFromString(""), ConfigError);
 }
 
 TEST_F(PdnTopologies, EnergyConservationInvariant)

@@ -239,6 +239,27 @@ TEST(TraceLibrary, FindReturnsRegisteredTraces)
     EXPECT_EQ(lib.find("two"), nullptr);
 }
 
+TEST(TraceLibrary, GetNamesTheMissingTraceAndTheAlternatives)
+{
+    TraceLibrary lib;
+    TracePhase phase;
+    phase.duration = milliseconds(1.0);
+    lib.add(PhaseTrace("one", {phase}));
+    lib.add(PhaseTrace("two", {phase}));
+    EXPECT_EQ(lib.get("one").name(), "one");
+
+    try {
+        lib.get("three");
+        FAIL() << "lookup of an unregistered trace must throw";
+    } catch (const ConfigError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("\"three\""), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("one, two"), std::string::npos) << what;
+    }
+    EXPECT_THROW(TraceLibrary().get("any"), ConfigError);
+}
+
 TEST(TraceLibrary, StandardCampaignCorpusIsReproducible)
 {
     TraceLibrary a = standardCampaignTraces(42);

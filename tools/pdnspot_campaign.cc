@@ -1,0 +1,253 @@
+/**
+ * @file
+ * pdnspot_campaign: run a batch-simulation campaign from a spec file.
+ *
+ * The file-in/CSV-out driver for the campaign subsystem: loads a
+ * JSON campaign spec (src/config/campaign_config.hh), executes the
+ * trace × platform × PDN cross-product over the thread pool, and
+ * streams the result rows to a CSV file as cells complete — the CSV
+ * is byte-identical to CampaignResult::writeCsv over the same
+ * campaign at any thread count, so non-C++ tooling can script
+ * studies and diff outputs exactly.
+ *
+ * Usage: pdnspot_campaign <spec.json> [options]
+ *   -o <path>        write the campaign CSV to <path> ("-" = stdout,
+ *                    the default)
+ *   --summary        print the per-PDN summary table to stderr
+ *   --battery-wh <x> battery capacity for the summary (default 50)
+ *   --threads <n>    thread count (overrides PDNSPOT_THREADS)
+ *   --no-memo        disable the per-worker evaluation memo
+ *   --dry-run        load + validate the spec, report the campaign
+ *                    shape, and exit without simulating
+ *   --echo-spec      print the parsed spec back as normalized JSON
+ *                    and exit
+ */
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "campaign/campaign_engine.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "config/campaign_config.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+constexpr const char *usageText =
+    "usage: pdnspot_campaign <spec.json> [-o out.csv] [--summary]\n"
+    "                        [--battery-wh <x>] [--threads <n>]\n"
+    "                        [--no-memo] [--dry-run] [--echo-spec]\n";
+
+/** Parsed command line. */
+struct Options
+{
+    std::string specPath;
+    std::string outPath = "-";
+    bool summary = false;
+    double batteryWh = 50.0;
+    std::optional<unsigned> threads;
+    bool memo = true;
+    bool dryRun = false;
+    bool echoSpec = false;
+};
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::cerr << "pdnspot_campaign: " << message << "\n"
+              << usageText;
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto value = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(flag) + " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            std::cout << usageText;
+            std::exit(0);
+        } else if (arg == "-o") {
+            opts.outPath = value(i, "-o");
+        } else if (arg == "--summary") {
+            opts.summary = true;
+        } else if (arg == "--battery-wh") {
+            std::string v = value(i, "--battery-wh");
+            size_t used = 0;
+            double wh = 0.0;
+            try {
+                wh = std::stod(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size() || !(wh > 0.0))
+                usageError("--battery-wh must be a positive number, "
+                           "got \"" +
+                           v + "\"");
+            opts.batteryWh = wh;
+        } else if (arg == "--threads") {
+            std::string v = value(i, "--threads");
+            size_t used = 0;
+            long n = 0;
+            try {
+                n = std::stol(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size() || n < 1)
+                usageError("--threads must be a positive integer, "
+                           "got \"" +
+                           v + "\"");
+            if (n > static_cast<long>(
+                        ParallelRunner::maxThreadCount)) {
+                std::cerr << "pdnspot_campaign: --threads " << n
+                          << " capped at "
+                          << ParallelRunner::maxThreadCount << "\n";
+                n = ParallelRunner::maxThreadCount;
+            }
+            opts.threads = static_cast<unsigned>(n);
+        } else if (arg == "--no-memo") {
+            opts.memo = false;
+        } else if (arg == "--dry-run") {
+            opts.dryRun = true;
+        } else if (arg == "--echo-spec") {
+            opts.echoSpec = true;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            usageError("unknown option \"" + arg + "\"");
+        } else if (opts.specPath.empty()) {
+            opts.specPath = arg;
+        } else {
+            usageError("more than one spec file given");
+        }
+    }
+    if (opts.specPath.empty())
+        usageError("missing spec file");
+    return opts;
+}
+
+void
+printSummary(const CampaignSummaryBuilder &builder, double batteryWh)
+{
+    BatteryModel battery(wattHours(batteryWh));
+    AsciiTable table({"PDN", "cells", "supply (J)", "mean ETEE",
+                      "switches",
+                      strprintf("life @%gWh (h)", batteryWh)});
+    for (const CampaignPdnSummary &s : builder.summaries(battery)) {
+        table.addRow({pdnKindToString(s.pdn),
+                      std::to_string(s.cells),
+                      AsciiTable::num(inJoules(s.supplyEnergy), 2),
+                      AsciiTable::percent(s.meanEtee(), 1),
+                      std::to_string(s.modeSwitches),
+                      AsciiTable::num(s.batteryLifeHours, 1)});
+    }
+    table.print(std::cerr);
+}
+
+/** Streams CSV rows and feeds the summary builder in one pass. */
+class CliSink : public CampaignSink
+{
+  public:
+    CliSink(std::ostream &os, bool summarize)
+        : _csv(os), _summarize(summarize)
+    {}
+
+    void
+    consume(CampaignCellResult cell) override
+    {
+        if (_summarize)
+            _builder.add(cell);
+        _csv.consume(std::move(cell));
+    }
+
+    size_t rows() const { return _csv.rows(); }
+    const CampaignSummaryBuilder &builder() const { return _builder; }
+
+  private:
+    CampaignCsvSink _csv;
+    bool _summarize;
+    CampaignSummaryBuilder _builder;
+};
+
+int
+runCli(const Options &opts)
+{
+    if (opts.echoSpec) {
+        std::cout << writeJson(parseJsonFile(opts.specPath));
+        return 0;
+    }
+
+    CampaignSpec spec = loadCampaignSpecFile(opts.specPath);
+
+    if (opts.dryRun) {
+        std::cerr << "pdnspot_campaign: " << opts.specPath << ": "
+                  << spec.traces.size() << " traces x "
+                  << spec.platforms.size() << " platforms x "
+                  << spec.pdns.size() << " PDNs = "
+                  << spec.cellCount() << " cells ("
+                  << toString(spec.mode) << " mode, tick "
+                  << inMicroseconds(spec.tick) << " us)\n";
+        return 0;
+    }
+
+    std::optional<ParallelRunner> ownRunner;
+    if (opts.threads)
+        ownRunner.emplace(*opts.threads);
+    CampaignEngine engine(ownRunner ? *ownRunner
+                                    : ParallelRunner::global());
+    engine.memoize(opts.memo);
+
+    std::ofstream file;
+    if (opts.outPath != "-") {
+        file.open(opts.outPath, std::ios::binary);
+        if (!file)
+            fatal(strprintf("cannot open output file \"%s\"",
+                            opts.outPath.c_str()));
+    }
+    std::ostream &out = opts.outPath != "-" ? file : std::cout;
+
+    CliSink sink(out, opts.summary);
+    engine.run(spec, sink);
+
+    if (opts.outPath != "-") {
+        file.close();
+        if (!file)
+            fatal(strprintf("error writing \"%s\"",
+                            opts.outPath.c_str()));
+        std::cerr << "pdnspot_campaign: wrote " << sink.rows()
+                  << " rows to " << opts.outPath << "\n";
+    }
+    if (opts.summary)
+        printSummary(sink.builder(), opts.batteryWh);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+    try {
+        return runCli(opts);
+    } catch (const ConfigError &e) {
+        std::cerr << "pdnspot_campaign: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        // ModelError (an internal invariant, i.e. a bug) or OS-level
+        // failures: report and exit instead of std::terminate.
+        std::cerr << "pdnspot_campaign: internal error: " << e.what()
+                  << "\n";
+        return 3;
+    }
+}
