@@ -77,7 +77,7 @@ printFigure()
         CampaignEngine(serial).memoize(false).run(repeated);
     std::cout << "\nEteeMemo on repeated-state campaign ("
               << repeated.cellCount() << " cells, "
-              << repeated.traces[0].phases().size()
+              << repeated.traces[0].resolve().phases().size()
               << " phases/trace): results "
               << (with == without ? "bit-identical" : "MISMATCH")
               << " with memo on/off\n\n";

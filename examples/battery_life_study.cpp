@@ -35,8 +35,8 @@ main(int argc, char **argv)
     // PDNs, simulated statically.
     CampaignSpec spec;
     for (const BatteryProfile &profile : batteryLifeWorkloads())
-        spec.traces.push_back(traceFromBatteryProfile(
-            profile, milliseconds(33.3), 4));
+        spec.traces.push_back(TraceSpec::profile(
+            profile.name, milliseconds(33.3), 4));
     spec.platforms = {ultraportablePreset()};
     spec.pdns.assign(allPdnKinds.begin(), allPdnKinds.end());
     spec.mode = SimMode::Static;

@@ -56,7 +56,7 @@ main(int argc, char **argv)
                             "saving"});
     for (const PlatformConfig &pf : spec.platforms) {
         Energy ivr, flex;
-        for (const PhaseTrace &trace : spec.traces) {
+        for (const TraceSpec &trace : spec.traces) {
             ivr += result.cell(trace.name(), pf.name, PdnKind::IVR)
                        .sim.supplyEnergy;
             flex += result

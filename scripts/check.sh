@@ -41,6 +41,33 @@ cmp "$smoke_dir/cpp.csv" "$smoke_dir/spec1.csv"
 cmp "$smoke_dir/cpp.csv" "$smoke_dir/spec8.csv"
 echo "check.sh: pdnspot_campaign spec-file smoke green"
 
+# Trace-source smoke: the measured-workload spec exercises all four
+# TraceSpec kinds (library, generator, battery profile, file-backed
+# CSV). Lazy per-worker resolution must be byte-identical serial vs
+# 8 threads and with the memo off.
+PDNSPOT_THREADS=1 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/measured_campaign.json -o "$smoke_dir/meas1.csv"
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/measured_campaign.json -o "$smoke_dir/meas8.csv"
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/measured_campaign.json --no-memo \
+    -o "$smoke_dir/measnm.csv"
+cmp "$smoke_dir/meas1.csv" "$smoke_dir/meas8.csv"
+cmp "$smoke_dir/meas1.csv" "$smoke_dir/measnm.csv"
+
+# Sharding smoke: a 2-way sharded run concatenates to exactly the
+# unsharded CSV (shard 1 carries the header, shard 2 does not).
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/measured_campaign.json --shard 1/2 \
+    -o "$smoke_dir/shard1.csv"
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/measured_campaign.json --shard 2/2 \
+    -o "$smoke_dir/shard2.csv"
+cat "$smoke_dir/shard1.csv" "$smoke_dir/shard2.csv" \
+    > "$smoke_dir/shardcat.csv"
+cmp "$smoke_dir/meas1.csv" "$smoke_dir/shardcat.csv"
+echo "check.sh: trace-source + sharding smoke green"
+
 # Second pass: the whole test suite under ASan+UBSan. Bench binaries
 # add nothing here (they are not registered tests), so skip them to
 # halve the sanitized build.

@@ -55,12 +55,43 @@ threadSlot(uint64_t run_id, const CampaignSpec &spec,
     return slot;
 }
 
+/**
+ * One worker thread's lazily-resolved traces for the current run.
+ * TraceSpec resolution (library rebuilds, generator runs, trace-file
+ * reads) happens at most once per trace per worker; the cache is
+ * invalidated by run id exactly like ThreadPlatformSlot. Resolution
+ * is deterministic, so worker-private copies cannot perturb results.
+ */
+struct ThreadTraceCache
+{
+    uint64_t runId = 0;
+    std::vector<std::unique_ptr<const PhaseTrace>> traces;
+};
+
+const PhaseTrace &
+resolvedTrace(uint64_t run_id, const CampaignSpec &spec,
+              size_t trace_idx)
+{
+    thread_local ThreadTraceCache cache;
+    if (cache.runId != run_id) {
+        cache.traces.clear();
+        cache.traces.resize(spec.traces.size());
+        cache.runId = run_id;
+    }
+    std::unique_ptr<const PhaseTrace> &slot = cache.traces[trace_idx];
+    if (!slot)
+        slot = std::make_unique<const PhaseTrace>(
+            spec.traces[trace_idx].resolve());
+    return *slot;
+}
+
 SimResult
 simulateCell(const Platform &platform, const PhaseTrace &trace,
-             PdnKind kind, const CampaignSpec &spec, EteeMemo *memo)
+             PdnKind kind, const CampaignSpec &spec, Time tick,
+             EteeMemo *memo)
 {
     IntervalSimulator sim(platform.operatingPoints(),
-                          platform.config().tdp, spec.tick);
+                          platform.config().tdp, tick);
     if (kind == PdnKind::FlexWatts) {
         if (spec.mode == SimMode::Oracle)
             return sim.runOracle(trace, platform.flexWatts(), memo);
@@ -121,12 +152,22 @@ void
 CampaignEngine::run(const CampaignSpec &spec,
                     CampaignSink &sink) const
 {
-    spec.validate();
+    run(spec, sink, 0, spec.cellCount());
+}
 
-    size_t nTraces = spec.traces.size();
+void
+CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
+                    size_t firstCell, size_t endCell) const
+{
+    spec.validate();
+    if (firstCell > endCell || endCell > spec.cellCount())
+        fatal(strprintf("CampaignEngine: cell range [%zu, %zu) "
+                        "outside the campaign's %zu cells",
+                        firstCell, endCell, spec.cellCount()));
+
     size_t nPdns = spec.pdns.size();
-    size_t cellsPerPlatform = nTraces * nPdns;
-    size_t n = spec.cellCount();
+    size_t cellsPerPlatform = spec.traces.size() * nPdns;
+    size_t n = endCell - firstCell;
 
     static std::atomic<uint64_t> runCounter{0};
     uint64_t runId = ++runCounter;
@@ -176,19 +217,25 @@ CampaignEngine::run(const CampaignSpec &spec,
             shard.reserve(end - begin);
             try {
                 for (size_t t = begin; t < end; ++t) {
-                    size_t p = t / cellsPerPlatform;
-                    size_t rest = t % cellsPerPlatform;
+                    size_t cell = firstCell + t;
+                    size_t p = cell / cellsPerPlatform;
+                    size_t rest = cell % cellsPerPlatform;
+                    size_t traceIdx = rest / nPdns;
+                    const TraceSpec &traceSpec =
+                        spec.traces[traceIdx];
                     ThreadPlatformSlot &slot =
                         threadSlot(runId, spec, p, _memoize);
                     CampaignCellResult c;
-                    c.trace = spec.traces[rest / nPdns].name();
+                    c.trace = traceSpec.name();
                     c.platform = spec.platforms[p].name;
                     c.pdn = spec.pdns[rest % nPdns];
                     c.mode = spec.mode;
-                    c.sim = simulateCell(*slot.platform,
-                                         spec.traces[rest / nPdns],
-                                         c.pdn, spec,
-                                         slot.memo.get());
+                    c.sim = simulateCell(
+                        *slot.platform,
+                        resolvedTrace(runId, spec, traceIdx), c.pdn,
+                        spec,
+                        traceSpec.tickOverride().value_or(spec.tick),
+                        slot.memo.get());
                     shard.push_back(std::move(c));
                 }
             } catch (...) {

@@ -9,12 +9,15 @@
  * Platform construction (ETEE characterization) is the expensive
  * step, and the monotonic range claims mean each worker sees the
  * platform axis in non-decreasing order, so it rebuilds at most once
- * per platform config per campaign.
+ * per platform config per campaign. Trace specs resolve lazily too:
+ * each worker materializes a TraceSpec the first time one of its
+ * cells needs it and caches the PhaseTrace for the rest of the run.
  *
  * Determinism contract: every cell's SimResult depends only on its
- * (trace, platform config, pdn, mode, tick) inputs and lands at its
- * own index, so a CampaignResult is bit-identical to the serial run
- * at any thread count.
+ * (trace spec, platform config, pdn, mode, tick) inputs and lands at
+ * its own index, so a CampaignResult is bit-identical to the serial
+ * run at any thread count — TraceSpec::resolve() is deterministic,
+ * so per-worker resolution cannot perturb results.
  */
 
 #ifndef PDNSPOT_CAMPAIGN_CAMPAIGN_ENGINE_HH
@@ -58,6 +61,17 @@ class CampaignEngine
      * count — never the campaign size.
      */
     void run(const CampaignSpec &spec, CampaignSink &sink) const;
+
+    /**
+     * Stream one contiguous range [firstCell, endCell) of the
+     * spec's canonical cell order — the sharding primitive: n
+     * processes running disjoint covering ranges produce outputs
+     * whose concatenation is byte-identical to the full run (each
+     * cell's result is independent of which range computes it).
+     * fatal() unless firstCell <= endCell <= cellCount().
+     */
+    void run(const CampaignSpec &spec, CampaignSink &sink,
+             size_t firstCell, size_t endCell) const;
 
     /**
      * Enable/disable the per-worker (platform, phase, PDN)

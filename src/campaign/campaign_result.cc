@@ -59,9 +59,11 @@ appendCsvRow(std::string &buf, const CampaignCellResult &c)
 
 } // namespace
 
-CampaignCsvSink::CampaignCsvSink(std::ostream &os) : _os(os)
+CampaignCsvSink::CampaignCsvSink(std::ostream &os, bool header)
+    : _os(os)
 {
-    _os << csvHeader << "\n";
+    if (header)
+        _os << csvHeader << "\n";
 }
 
 void

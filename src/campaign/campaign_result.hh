@@ -84,11 +84,15 @@ class CampaignSink
  * is written on construction; the accumulated output is byte-
  * identical to CampaignResult::writeCsv over the same cells, so the
  * streamed file re-imports through CampaignResult::readCsv.
+ *
+ * Sharded runs (CampaignEngine::run over a cell range) suppress the
+ * header on every shard but the first, so concatenating the shard
+ * files in order reproduces the unsharded CSV byte for byte.
  */
 class CampaignCsvSink : public CampaignSink
 {
   public:
-    explicit CampaignCsvSink(std::ostream &os);
+    explicit CampaignCsvSink(std::ostream &os, bool header = true);
 
     void consume(CampaignCellResult cell) override;
 

@@ -66,6 +66,7 @@ CampaignSpec::validate() const
         fatal("CampaignSpec: non-positive tick");
 
     for (size_t i = 0; i < traces.size(); ++i) {
+        traces[i].validate();
         checkName("trace", traces[i].name());
         for (size_t j = i + 1; j < traces.size(); ++j) {
             if (traces[i].name() == traces[j].name())

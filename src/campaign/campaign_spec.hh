@@ -20,6 +20,7 @@
 #include "pdnspot/platform.hh"
 #include "workload/trace.hh"
 #include "workload/trace_library.hh"
+#include "workload/trace_source.hh"
 
 namespace pdnspot
 {
@@ -52,18 +53,31 @@ std::string toString(SimMode mode);
 /** Inverse of toString(SimMode); fatal() on an unknown name. */
 SimMode simModeFromString(const std::string &name);
 
-/** One campaign: the cell cross-product and how to simulate it. */
+/**
+ * One campaign: the cell cross-product and how to simulate it.
+ *
+ * The trace axis is declarative: each entry is a TraceSpec
+ * (workload/trace_source.hh) describing where the trace comes from,
+ * and the engine materializes it lazily per worker. A PhaseTrace
+ * converts implicitly to an inline TraceSpec, so eager callers keep
+ * working unchanged.
+ */
 struct CampaignSpec
 {
-    std::vector<PhaseTrace> traces;
+    std::vector<TraceSpec> traces;
     std::vector<PlatformConfig> platforms;
     std::vector<PdnKind> pdns;
     SimMode mode = SimMode::Static;
 
-    /** Interval-simulator step (bounds switch-flow resolution). */
+    /**
+     * Interval-simulator step (bounds switch-flow resolution).
+     * Individual traces may carry a per-cell override
+     * (TraceSpec::tick); cells of such traces simulate at that tick
+     * instead.
+     */
     Time tick = microseconds(50.0);
 
-    /** Copy every trace of a library into the spec. */
+    /** Wrap every trace of a library into the spec (inline kind). */
     void addTraces(const TraceLibrary &library);
 
     /** Total number of (trace, platform, pdn) cells. */
@@ -75,8 +89,11 @@ struct CampaignSpec
 
     /**
      * fatal() unless the spec is runnable: non-empty axes, a
-     * positive tick, unique CSV-safe trace and platform names, and
-     * every platform TDP within the operating-point model's span.
+     * positive tick, well-formed trace specs (TraceSpec::validate)
+     * with unique CSV-safe names, unique platform names, and every
+     * platform TDP within the operating-point model's span. Trace
+     * specs are not resolved: file-backed trace errors surface at
+     * resolution time.
      */
     void validate() const;
 };

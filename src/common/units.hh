@@ -174,6 +174,7 @@ constexpr double inMilliohms(Resistance r) { return r.value() * 1e3; }
 constexpr double inJoules(Energy e) { return e.value(); }
 constexpr double inWattHours(Energy e) { return e.value() / 3600.0; }
 constexpr double inSeconds(Time t) { return t.value(); }
+constexpr double inMilliseconds(Time t) { return t.value() * 1e3; }
 constexpr double inMicroseconds(Time t) { return t.value() * 1e6; }
 constexpr double inGigahertz(Frequency f) { return f.value() * 1e-9; }
 constexpr double inSquareMillimetres(Area a) { return a.value() * 1e6; }

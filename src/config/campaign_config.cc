@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "power/operating_point.hh"
+#include "workload/battery_profiles.hh"
 
 namespace pdnspot
 {
@@ -87,15 +88,22 @@ pdnsFromJson(const JsonValue &v)
     return out;
 }
 
-std::vector<PhaseTrace>
-tracesFromJson(const JsonValue &v)
+uint64_t
+seedFromJson(const JsonValue &v)
+{
+    return static_cast<uint64_t>(
+        v.asInteger("\"seed\"", 0, 1000000000L));
+}
+
+/** Whole-library object form: {"library": "standard", ...}. */
+std::vector<TraceSpec>
+libraryTracesFromJson(const JsonValue &v)
 {
     rejectUnknownKeys(v, "\"traces\"", {"library", "seed", "names"});
 
     uint64_t seed = 42;
     if (const JsonValue *s = v.find("seed"))
-        seed = static_cast<uint64_t>(
-            s->asInteger("\"seed\"", 0, 1000000000L));
+        seed = seedFromJson(*s);
 
     if (const JsonValue *lib = v.find("library")) {
         if (lib->asString() != "standard")
@@ -105,28 +113,150 @@ tracesFromJson(const JsonValue &v)
     }
     TraceLibrary library = standardCampaignTraces(seed);
 
+    std::vector<TraceSpec> out;
     const JsonValue *names = v.find("names");
-    if (!names)
-        return library.traces();
+    if (!names) {
+        for (const std::string &name : library.names())
+            out.push_back(TraceSpec::library(name, seed));
+        return out;
+    }
 
-    std::vector<PhaseTrace> out;
     for (const JsonValue &item : names->items()) {
-        const PhaseTrace *trace = library.find(item.asString());
-        if (!trace)
+        const std::string &name = item.asString();
+        if (!library.find(name))
             item.fail(strprintf(
                 "no trace \"%s\" in the standard library (available: "
                 "%s)",
-                item.asString().c_str(),
-                joinStrings(library.names()).c_str()));
-        for (const PhaseTrace &seen : out) {
-            if (seen.name() == trace->name())
+                name.c_str(), joinStrings(library.names()).c_str()));
+        for (const TraceSpec &seen : out) {
+            if (seen.name() == name)
                 item.fail(strprintf("trace \"%s\" selected twice",
-                                    trace->name().c_str()));
+                                    name.c_str()));
         }
-        out.push_back(*trace);
+        out.push_back(TraceSpec::library(name, seed));
     }
     if (out.empty())
         names->fail("\"names\" must select at least one trace");
+    return out;
+}
+
+TraceGeneratorSpec
+generatorSpecFromJson(const JsonValue &v)
+{
+    rejectUnknownKeys(v, "generator",
+                      {"kind", "seed", "bursts", "burst_ms",
+                       "idle_ms", "phases", "mean_phase_ms",
+                       "ar_min", "ar_max"});
+
+    const JsonValue *kind = v.find("kind");
+    if (!kind)
+        v.fail("missing required generator key \"kind\"");
+
+    TraceGeneratorSpec params;
+    params.kind = kind->asString();
+    bool known = false;
+    for (const std::string &k : traceGeneratorKinds())
+        known = known || params.kind == k;
+    if (!known)
+        kind->fail(strprintf(
+            "unknown generator kind \"%s\" (expected one of %s)",
+            params.kind.c_str(),
+            joinStrings(traceGeneratorKinds()).c_str()));
+    bool bursty = params.kind == "bursty-compute";
+    bool mix = params.kind == "random-mix";
+
+    // Parameters that do not apply to the chosen kind are rejected
+    // rather than silently ignored.
+    auto rejectForKind = [&](const char *key) {
+        if (const JsonValue *stray = v.find(key))
+            stray->fail(strprintf("\"%s\" does not apply to "
+                                  "generator kind \"%s\"",
+                                  key, params.kind.c_str()));
+    };
+    if (!bursty) {
+        rejectForKind("bursts");
+        rejectForKind("burst_ms");
+        rejectForKind("idle_ms");
+    }
+    if (!mix) {
+        rejectForKind("phases");
+        rejectForKind("mean_phase_ms");
+    }
+    if (!bursty && !mix) {
+        rejectForKind("ar_min");
+        rejectForKind("ar_max");
+    }
+
+    if (const JsonValue *s = v.find("seed"))
+        params.seed = seedFromJson(*s);
+
+    auto positiveMs = [](const JsonValue &value, const char *what) {
+        double ms = value.asNumber();
+        if (!(ms > 0.0))
+            value.fail(strprintf("\"%s\" must be positive, got %g",
+                                 what, ms));
+        return milliseconds(ms);
+    };
+    if (const JsonValue *b = v.find("bursts"))
+        params.bursts = static_cast<size_t>(
+            b->asInteger("\"bursts\"", 1, 1000000L));
+    if (const JsonValue *len = v.find("burst_ms"))
+        params.burstLen = positiveMs(*len, "burst_ms");
+    if (const JsonValue *len = v.find("idle_ms"))
+        params.idleLen = positiveMs(*len, "idle_ms");
+    if (const JsonValue *p = v.find("phases"))
+        params.phases = static_cast<size_t>(
+            p->asInteger("\"phases\"", 1, 1000000L));
+    if (const JsonValue *len = v.find("mean_phase_ms"))
+        params.meanPhaseLen = positiveMs(*len, "mean_phase_ms");
+
+    auto arBound = [](const JsonValue &value, const char *what) {
+        double ar = value.asNumber();
+        if (!(ar >= 0.0 && ar <= 1.0))
+            value.fail(strprintf("\"%s\" must be in [0, 1], got %g",
+                                 what, ar));
+        return ar;
+    };
+    if (const JsonValue *ar = v.find("ar_min"))
+        params.arMin = arBound(*ar, "ar_min");
+    if (const JsonValue *ar = v.find("ar_max"))
+        params.arMax = arBound(*ar, "ar_max");
+    if (params.arMin > params.arMax)
+        v.fail(strprintf("\"ar_min\" %g exceeds \"ar_max\" %g",
+                         params.arMin, params.arMax));
+
+    return params;
+}
+
+std::vector<std::string>
+profileNames()
+{
+    std::vector<std::string> out;
+    for (const BatteryProfile &profile : batteryLifeWorkloads())
+        out.push_back(profile.name);
+    return out;
+}
+
+std::vector<TraceSpec>
+tracesFromJson(const JsonValue &v, const std::string &traceDir)
+{
+    if (v.kind() != JsonValue::Kind::Array)
+        return libraryTracesFromJson(v);
+
+    std::vector<TraceSpec> out;
+    for (const JsonValue &item : v.items()) {
+        TraceSpec spec = traceSpecFromJson(item, traceDir);
+        for (const TraceSpec &seen : out) {
+            if (seen.name() == spec.name())
+                item.fail(strprintf("duplicate trace name \"%s\" "
+                                    "(use \"name\" to "
+                                    "disambiguate)",
+                                    spec.name().c_str()));
+        }
+        out.push_back(std::move(spec));
+    }
+    if (out.empty())
+        v.fail("\"traces\" must hold at least one trace entry");
     return out;
 }
 
@@ -154,6 +284,132 @@ presetFromJson(const JsonValue &v)
 }
 
 } // namespace
+
+TraceSpec
+traceSpecFromJson(const JsonValue &value, const std::string &traceDir)
+{
+    rejectUnknownKeys(value, "trace",
+                      {"library", "generator", "profile", "file",
+                       "seed", "frame_ms", "frames", "name",
+                       "tick_us"});
+
+    const JsonValue *library = value.find("library");
+    const JsonValue *generator = value.find("generator");
+    const JsonValue *profile = value.find("profile");
+    const JsonValue *file = value.find("file");
+    int sources = (library ? 1 : 0) + (generator ? 1 : 0) +
+                  (profile ? 1 : 0) + (file ? 1 : 0);
+    if (sources != 1)
+        value.fail("a trace entry needs exactly one source key: "
+                   "\"library\", \"generator\", \"profile\" or "
+                   "\"file\"");
+
+    // Source-specific keys on the wrong source kind are mistakes,
+    // not extensions.
+    if (!library && !generator) {
+        if (const JsonValue *stray = value.find("seed"))
+            stray->fail("\"seed\" only applies to \"library\" "
+                        "entries (generators take a nested "
+                        "\"seed\")");
+    }
+    if (generator) {
+        if (const JsonValue *stray = value.find("seed"))
+            stray->fail("put \"seed\" inside the \"generator\" "
+                        "object");
+    }
+    if (!profile) {
+        for (const char *key : {"frame_ms", "frames"}) {
+            if (const JsonValue *stray = value.find(key))
+                stray->fail(strprintf("\"%s\" only applies to "
+                                      "\"profile\" entries",
+                                      key));
+        }
+    }
+
+    TraceSpec spec;
+    if (library) {
+        uint64_t seed = 42;
+        if (const JsonValue *s = value.find("seed"))
+            seed = seedFromJson(*s);
+        TraceLibrary lib = standardCampaignTraces(seed);
+        if (!lib.find(library->asString()))
+            library->fail(strprintf(
+                "no trace \"%s\" in the standard library "
+                "(available: %s)",
+                library->asString().c_str(),
+                joinStrings(lib.names()).c_str()));
+        spec = TraceSpec::library(library->asString(), seed);
+    } else if (generator) {
+        spec = TraceSpec::generator(generatorSpecFromJson(*generator));
+    } else if (profile) {
+        bool known = false;
+        for (const BatteryProfile &p : batteryLifeWorkloads())
+            known = known || p.name == profile->asString();
+        if (!known)
+            profile->fail(strprintf(
+                "unknown battery profile \"%s\" (available: %s)",
+                profile->asString().c_str(),
+                joinStrings(profileNames()).c_str()));
+        Time framePeriod = milliseconds(33.3);
+        size_t frames = 4;
+        if (const JsonValue *ms = value.find("frame_ms")) {
+            double v = ms->asNumber();
+            if (!(v > 0.0))
+                ms->fail(strprintf("\"frame_ms\" must be positive, "
+                                   "got %g",
+                                   v));
+            framePeriod = milliseconds(v);
+        }
+        if (const JsonValue *f = value.find("frames"))
+            frames = static_cast<size_t>(
+                f->asInteger("\"frames\"", 1, 1000000L));
+        spec = TraceSpec::profile(profile->asString(), framePeriod,
+                                  frames);
+    } else {
+        std::string path = file->asString();
+        if (path.empty())
+            file->fail("\"file\" must name a trace file");
+        if (path[0] != '/' && !traceDir.empty())
+            path = traceDir + "/" + path;
+        spec = TraceSpec::file(std::move(path));
+    }
+
+    // Apply the common overrides before the eager file check below,
+    // so a "name" can rescue a file whose stem is CSV-unsafe.
+    if (const JsonValue *name = value.find("name")) {
+        if (name->asString().empty())
+            name->fail("\"name\" must be non-empty");
+        spec.rename(name->asString());
+    }
+    if (const JsonValue *tick = value.find("tick_us")) {
+        double us = tick->asNumber();
+        if (!(us > 0.0))
+            tick->fail(strprintf("\"tick_us\" must be positive, got "
+                                 "%g",
+                                 us));
+        spec.tick(microseconds(us));
+    }
+
+    if (file) {
+        // Load the file once now so a missing or invalid trace fails
+        // at this spec value with the nested positional error; the
+        // engine still resolves lazily at run time.
+        try {
+            spec.resolve();
+        } catch (const ConfigError &e) {
+            file->fail(e.what());
+        }
+    }
+
+    // Anything the targeted checks above missed (a CSV-unsafe
+    // "name", ...) still fails at this entry's position.
+    try {
+        spec.validate();
+    } catch (const ConfigError &e) {
+        value.fail(e.what());
+    }
+    return spec;
+}
 
 PlatformConfig
 platformConfigFromJson(const JsonValue &value)
@@ -209,7 +465,8 @@ platformConfigFromJson(const JsonValue &value)
 }
 
 CampaignSpec
-campaignSpecFromJson(const JsonValue &root)
+campaignSpecFromJson(const JsonValue &root,
+                     const std::string &traceDir)
 {
     rejectUnknownKeys(root, "spec",
                       {"traces", "platforms", "pdns", "mode",
@@ -221,7 +478,7 @@ campaignSpecFromJson(const JsonValue &root)
     }
 
     CampaignSpec spec;
-    spec.traces = tracesFromJson(*root.find("traces"));
+    spec.traces = tracesFromJson(*root.find("traces"), traceDir);
     for (const JsonValue &item : root.find("platforms")->items()) {
         PlatformConfig cfg = platformConfigFromJson(item);
         for (const PlatformConfig &seen : spec.platforms) {
@@ -250,15 +507,24 @@ campaignSpecFromJson(const JsonValue &root)
 
 CampaignSpec
 loadCampaignSpec(const std::string &text,
-                 const std::string &sourceName)
+                 const std::string &sourceName,
+                 const std::string &traceDir)
 {
-    return campaignSpecFromJson(parseJson(text, sourceName));
+    return campaignSpecFromJson(parseJson(text, sourceName),
+                                traceDir);
 }
 
 CampaignSpec
-loadCampaignSpecFile(const std::string &path)
+loadCampaignSpecFile(const std::string &path,
+                     const std::string &traceDir)
 {
-    return campaignSpecFromJson(parseJsonFile(path));
+    std::string dir = traceDir;
+    if (dir.empty()) {
+        size_t slash = path.find_last_of("/\\");
+        if (slash != std::string::npos)
+            dir = path.substr(0, slash);
+    }
+    return campaignSpecFromJson(parseJsonFile(path), dir);
 }
 
 } // namespace pdnspot

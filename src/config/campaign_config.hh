@@ -15,9 +15,23 @@
  *   "tick_us":   50.0
  * }
  *
- * - "traces" names a trace library ("standard" =
- *   standardCampaignTraces(seed)); an optional "names" array selects
- *   a subset of it by trace name.
+ * - "traces" is either the whole-library object above ("standard" =
+ *   standardCampaignTraces(seed), an optional "names" array selects
+ *   a subset by trace name), or an array of declarative trace-source
+ *   entries (workload/trace_source.hh), one object per trace:
+ *
+ *     {"library": "bursty-compute", "seed": 42}
+ *     {"generator": {"kind": "random-mix", "seed": 7, "phases": 24,
+ *                    "mean_phase_ms": 15.0, "ar_min": 0.4,
+ *                    "ar_max": 0.8}}
+ *     {"profile": "video-playback", "frame_ms": 33.3, "frames": 4}
+ *     {"file": "traces/office.csv"}
+ *
+ *   Every entry also accepts "name" (rename the trace — the campaign
+ *   cell address) and "tick_us" (per-cell simulator-tick override).
+ *   "file" paths are resolved against the spec file's directory
+ *   unless a trace directory is passed explicitly (the CLI's
+ *   --trace-dir).
  * - "platforms" entries are either preset names
  *   (platformPresetByName) or objects: {"preset": ..., "name": ...,
  *   "tdp_w": ..., "supply_v": ..., "predictor_hysteresis": ...},
@@ -46,16 +60,33 @@ namespace pdnspot
 
 /**
  * Bind a parsed spec document to a validated CampaignSpec (the
- * result has passed CampaignSpec::validate()).
+ * result has passed CampaignSpec::validate()). `traceDir` anchors
+ * relative "file" trace paths ("" = the process working directory).
  */
-CampaignSpec campaignSpecFromJson(const JsonValue &root);
+CampaignSpec campaignSpecFromJson(const JsonValue &root,
+                                  const std::string &traceDir = "");
 
 /** Parse and bind spec text; `sourceName` labels error positions. */
 CampaignSpec loadCampaignSpec(const std::string &text,
-                              const std::string &sourceName);
+                              const std::string &sourceName,
+                              const std::string &traceDir = "");
 
-/** Parse and bind a spec file. */
-CampaignSpec loadCampaignSpecFile(const std::string &path);
+/**
+ * Parse and bind a spec file. Relative "file" trace paths resolve
+ * against `traceDir` when given, else against the spec file's own
+ * directory.
+ */
+CampaignSpec loadCampaignSpecFile(const std::string &path,
+                                  const std::string &traceDir = "");
+
+/**
+ * Bind one declarative trace entry (array-form "traces" element) to
+ * a TraceSpec. File-backed entries are loaded once here so a broken
+ * trace file fails at the spec value's position with the nested
+ * trace error; the engine still resolves lazily at run time.
+ */
+TraceSpec traceSpecFromJson(const JsonValue &value,
+                            const std::string &traceDir = "");
 
 /**
  * Bind one "platforms" entry: a preset-name string, or an object

@@ -27,4 +27,19 @@ toString(PackageCState state)
     panic("toString: invalid PackageCState");
 }
 
+PackageCState
+packageCStateFromString(const std::string &name)
+{
+    for (PackageCState state : allPackageCStates) {
+        if (toString(state) == name)
+            return state;
+    }
+    std::vector<std::string> names;
+    for (PackageCState state : allPackageCStates)
+        names.push_back(toString(state));
+    fatal(strprintf("packageCStateFromString: unknown C-state \"%s\" "
+                    "(expected one of %s)",
+                    name.c_str(), joinStrings(names).c_str()));
+}
+
 } // namespace pdnspot

@@ -45,6 +45,9 @@ inline constexpr std::array<PackageCState, 6> batteryLifeCStates = {
 
 std::string toString(PackageCState state);
 
+/** Inverse of toString(PackageCState); fatal() on an unknown name. */
+PackageCState packageCStateFromString(const std::string &name);
+
 /** True if the compute domains (cores, LLC, GFX) are power-gated. */
 constexpr bool
 computeGated(PackageCState state)

@@ -21,4 +21,19 @@ toString(WorkloadType type)
     panic("toString: invalid WorkloadType");
 }
 
+WorkloadType
+workloadTypeFromString(const std::string &name)
+{
+    for (WorkloadType type : allWorkloadTypes) {
+        if (toString(type) == name)
+            return type;
+    }
+    std::vector<std::string> names;
+    for (WorkloadType type : allWorkloadTypes)
+        names.push_back(toString(type));
+    fatal(strprintf("workloadTypeFromString: unknown workload type "
+                    "\"%s\" (expected one of %s)",
+                    name.c_str(), joinStrings(names).c_str()));
+}
+
 } // namespace pdnspot

@@ -34,6 +34,9 @@ inline constexpr std::array<WorkloadType, 4> allWorkloadTypes = {
 
 std::string toString(WorkloadType type);
 
+/** Inverse of toString(WorkloadType); fatal() on an unknown name. */
+WorkloadType workloadTypeFromString(const std::string &name);
+
 } // namespace pdnspot
 
 #endif // PDNSPOT_POWER_WORKLOAD_TYPE_HH

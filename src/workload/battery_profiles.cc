@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/logging.hh"
+
 namespace pdnspot
 {
 
@@ -84,6 +86,21 @@ batteryLifeWorkloads()
         lightGaming(),
     };
     return workloads;
+}
+
+const BatteryProfile &
+batteryProfileByName(const std::string &name)
+{
+    for (const BatteryProfile &profile : batteryLifeWorkloads()) {
+        if (profile.name == name)
+            return profile;
+    }
+    std::vector<std::string> names;
+    for (const BatteryProfile &profile : batteryLifeWorkloads())
+        names.push_back(profile.name);
+    fatal(strprintf("batteryProfileByName: unknown profile \"%s\" "
+                    "(available: %s)",
+                    name.c_str(), joinStrings(names).c_str()));
 }
 
 } // namespace pdnspot

@@ -53,6 +53,12 @@ BatteryProfile lightGaming();
 /** All four battery-life workloads of Fig. 8c. */
 const std::vector<BatteryProfile> &batteryLifeWorkloads();
 
+/**
+ * Look a battery-life workload up by its profile name; fatal()
+ * naming the alternatives on an unknown name.
+ */
+const BatteryProfile &batteryProfileByName(const std::string &name);
+
 } // namespace pdnspot
 
 #endif // PDNSPOT_WORKLOAD_BATTERY_PROFILES_HH

@@ -1,16 +1,34 @@
 #include "workload/trace.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace pdnspot
 {
 
+std::string
+checkTracePhase(const TracePhase &phase)
+{
+    if (!std::isfinite(inSeconds(phase.duration)))
+        return "phase duration must be finite";
+    if (phase.duration <= seconds(0.0))
+        return strprintf("phase duration must be positive, got %g s",
+                         inSeconds(phase.duration));
+    if (!std::isfinite(phase.ar) || phase.ar < 0.0 || phase.ar > 1.0)
+        return strprintf("activity ratio must be in [0, 1], got %g",
+                         phase.ar);
+    return "";
+}
+
 PhaseTrace::PhaseTrace(std::string name, std::vector<TracePhase> phases)
     : _name(std::move(name)), _phases(std::move(phases))
 {
     for (const TracePhase &p : _phases) {
-        if (p.duration <= seconds(0.0))
-            fatal("PhaseTrace: phase durations must be positive");
+        std::string problem = checkTracePhase(p);
+        if (!problem.empty())
+            fatal(strprintf("PhaseTrace \"%s\": %s", _name.c_str(),
+                            problem.c_str()));
     }
 }
 

@@ -34,6 +34,15 @@ struct TracePhase
     bool operator==(const TracePhase &) const = default;
 };
 
+/**
+ * Validity check shared by every import boundary (PhaseTrace
+ * construction, trace CSV/JSON readers): empty string when the phase
+ * is simulatable, otherwise a description of the first problem — a
+ * non-positive or non-finite duration, or an AR outside [0, 1].
+ * Importers prefix the returned message with their own position.
+ */
+std::string checkTracePhase(const TracePhase &phase);
+
 /** A named sequence of phases. */
 class PhaseTrace
 {

@@ -5,12 +5,28 @@
 namespace pdnspot
 {
 
+namespace
+{
+
+void
+checkArRange(double ar_min, double ar_max)
+{
+    if (!(ar_min >= 0.0 && ar_min <= ar_max && ar_max <= 1.0))
+        fatal(strprintf("TraceGenerator: AR range [%g, %g] must "
+                        "satisfy 0 <= ar_min <= ar_max <= 1",
+                        ar_min, ar_max));
+}
+
+} // namespace
+
 PhaseTrace
 TraceGenerator::burstyCompute(size_t bursts, Time burst_len,
-                              Time idle_len) const
+                              Time idle_len, double ar_min,
+                              double ar_max) const
 {
     if (bursts == 0)
         fatal("TraceGenerator: at least one burst required");
+    checkArRange(ar_min, ar_max);
 
     std::vector<TracePhase> phases;
     phases.reserve(bursts * 2);
@@ -20,7 +36,7 @@ TraceGenerator::burstyCompute(size_t bursts, Time burst_len,
         work.cstate = PackageCState::C0;
         work.type = unit(i * 4 + 1) < 0.5 ? WorkloadType::SingleThread
                                           : WorkloadType::MultiThread;
-        work.ar = 0.4 + 0.4 * unit(i * 4 + 2);
+        work.ar = ar_min + (ar_max - ar_min) * unit(i * 4 + 2);
         phases.push_back(work);
 
         TracePhase idle;
@@ -84,10 +100,12 @@ TraceGenerator::dayInTheLife() const
 }
 
 PhaseTrace
-TraceGenerator::randomMix(size_t phases_count, Time mean_phase_len) const
+TraceGenerator::randomMix(size_t phases_count, Time mean_phase_len,
+                          double ar_min, double ar_max) const
 {
     if (phases_count == 0)
         fatal("TraceGenerator: at least one phase required");
+    checkArRange(ar_min, ar_max);
 
     std::vector<TracePhase> phases;
     phases.reserve(phases_count);
@@ -101,7 +119,7 @@ TraceGenerator::randomMix(size_t phases_count, Time mean_phase_len) const
             p.type = t < 0.4   ? WorkloadType::SingleThread
                      : t < 0.8 ? WorkloadType::MultiThread
                                : WorkloadType::Graphics;
-            p.ar = 0.4 + 0.4 * unit(i * 8 + 3);
+            p.ar = ar_min + (ar_max - ar_min) * unit(i * 8 + 3);
         } else {
             static constexpr PackageCState idle_states[] = {
                 PackageCState::C0Min, PackageCState::C2,

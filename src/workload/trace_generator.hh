@@ -28,12 +28,13 @@ class TraceGenerator
 
     /**
      * A bursty interactive trace alternating compute bursts (mixed
-     * single/multi-thread, AR 0.4-0.8) with idle periods in deep
-     * C-states. Exercises FlexWatts's mode predictor in both
-     * directions.
+     * single/multi-thread, AR drawn from [ar_min, ar_max]) with idle
+     * periods in deep C-states. Exercises FlexWatts's mode predictor
+     * in both directions.
      */
     PhaseTrace burstyCompute(size_t bursts, Time burst_len,
-                             Time idle_len) const;
+                             Time idle_len, double ar_min = 0.4,
+                             double ar_max = 0.8) const;
 
     /**
      * A "day-in-the-life" client trace: office-style light work,
@@ -44,9 +45,12 @@ class TraceGenerator
 
     /**
      * A uniform random phase mix for property-style fuzzing: each
-     * phase independently draws a state, type and AR.
+     * phase independently draws a state, type and an AR from
+     * [ar_min, ar_max].
      */
-    PhaseTrace randomMix(size_t phases, Time mean_phase_len) const;
+    PhaseTrace randomMix(size_t phases, Time mean_phase_len,
+                         double ar_min = 0.4,
+                         double ar_max = 0.8) const;
 
   private:
     double unit(uint64_t k) const { return _noise.unit(k); }

@@ -5,6 +5,9 @@
  * write -> read -> write fixpoint, and summary statistics.
  */
 
+#include <unistd.h>
+
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "sim/etee_memo.hh"
 #include "sim/interval_simulator.hh"
 #include "workload/trace_generator.hh"
+#include "workload/trace_io.hh"
 
 namespace pdnspot
 {
@@ -94,6 +98,48 @@ TEST(CampaignSpecTest, SimModeNamesRoundTrip)
     EXPECT_THROW(simModeFromString("bogus"), ConfigError);
 }
 
+/**
+ * A spec exercising every TraceSpec provenance kind at once —
+ * inline, library, generator, battery profile, and a trace file
+ * written into the gtest temp dir — so lazy per-worker resolution
+ * is covered end to end.
+ */
+CampaignSpec
+declarativeSpec(SimMode mode)
+{
+    // Path is per-process: ctest runs each test case as its own
+    // process, and a shared fixed name would let one process rewrite
+    // the file while another reads it.
+    static const std::string path = [] {
+        std::string p = testing::TempDir() + "campaign_trace_" +
+                        std::to_string(::getpid()) + ".csv";
+        std::ofstream out(p, std::ios::binary);
+        writeTraceCsv(out,
+                      TraceGenerator(21).randomMix(
+                          10, milliseconds(6.0)));
+        return p;
+    }();
+
+    TraceGeneratorSpec mix;
+    mix.kind = "random-mix";
+    mix.seed = 13;
+    mix.phases = 8;
+    mix.meanPhaseLen = milliseconds(5.0);
+
+    CampaignSpec spec;
+    spec.traces.push_back(TraceGenerator(6).burstyCompute(
+        2, milliseconds(4.0), milliseconds(10.0)));
+    spec.traces.push_back(TraceSpec::library("day-in-the-life", 42));
+    spec.traces.push_back(TraceSpec::generator(mix));
+    spec.traces.push_back(
+        TraceSpec::profile("video-playback", milliseconds(33.3), 2));
+    spec.traces.push_back(TraceSpec::file(path));
+    spec.platforms = {fanlessTabletPreset(), ultraportablePreset()};
+    spec.pdns = {PdnKind::IVR, PdnKind::FlexWatts};
+    spec.mode = mode;
+    return spec;
+}
+
 TEST(CampaignEngineTest, CoversFullCrossProductInSpecOrder)
 {
     CampaignSpec spec = smallSpec(SimMode::Static);
@@ -102,14 +148,15 @@ TEST(CampaignEngineTest, CoversFullCrossProductInSpecOrder)
 
     size_t t = 0;
     for (const PlatformConfig &pf : spec.platforms) {
-        for (const PhaseTrace &trace : spec.traces) {
+        for (const TraceSpec &trace : spec.traces) {
             for (PdnKind kind : spec.pdns) {
                 const CampaignCellResult &c = result.cells[t++];
                 EXPECT_EQ(c.platform, pf.name);
                 EXPECT_EQ(c.trace, trace.name());
                 EXPECT_EQ(c.pdn, kind);
                 EXPECT_EQ(c.mode, SimMode::Static);
-                EXPECT_EQ(c.sim.duration, trace.totalDuration());
+                EXPECT_EQ(c.sim.duration,
+                          trace.resolve().totalDuration());
                 EXPECT_GT(c.sim.supplyEnergy, joules(0.0));
                 EXPECT_GT(c.sim.averageEtee(), 0.0);
                 EXPECT_LE(c.sim.averageEtee(), 1.0);
@@ -275,6 +322,119 @@ TEST(CampaignEngineTest, StreamedCsvMatchesBatchCsvAtAnyThreadCount)
             EXPECT_EQ(sink.rows(), spec.cellCount());
         }
     }
+}
+
+TEST(CampaignEngineTest, LazyResolutionIsDeterministicAcrossThreads)
+{
+    // The streamed-CSV surface is the binding contract: every
+    // provenance kind, serial vs 8 threads, byte-identical.
+    for (SimMode mode : {SimMode::Static, SimMode::Pmu}) {
+        CampaignSpec spec = declarativeSpec(mode);
+
+        ParallelRunner serial(1);
+        std::stringstream baseline;
+        CampaignCsvSink base(baseline);
+        CampaignEngine(serial).run(spec, base);
+
+        ParallelRunner pooled(8);
+        std::stringstream streamed;
+        CampaignCsvSink sink(streamed);
+        CampaignEngine(pooled).run(spec, sink);
+
+        EXPECT_EQ(streamed.str(), baseline.str())
+            << toString(mode) << " mode";
+        EXPECT_EQ(sink.rows(), spec.cellCount());
+    }
+}
+
+TEST(CampaignEngineTest, DeclarativeTracesMemoizeBitIdentically)
+{
+    CampaignSpec spec = declarativeSpec(SimMode::Oracle);
+    ParallelRunner runner(4);
+    CampaignResult with =
+        CampaignEngine(runner).memoize(true).run(spec);
+    CampaignResult without =
+        CampaignEngine(runner).memoize(false).run(spec);
+    EXPECT_EQ(with, without);
+}
+
+TEST(CampaignEngineTest, ShardConcatenationMatchesUnshardedRun)
+{
+    CampaignSpec spec = declarativeSpec(SimMode::Pmu);
+    size_t cells = spec.cellCount();
+
+    ParallelRunner runner(4);
+    std::stringstream full;
+    CampaignCsvSink fullSink(full);
+    CampaignEngine(runner).run(spec, fullSink);
+
+    // Three uneven shards over the canonical cell order; only the
+    // first carries the header, so plain concatenation must equal
+    // the unsharded stream byte for byte.
+    for (size_t shards : {2u, 3u, 5u}) {
+        std::string cat;
+        for (size_t k = 1; k <= shards; ++k) {
+            size_t first = cells * (k - 1) / shards;
+            size_t end = cells * k / shards;
+            std::stringstream part;
+            CampaignCsvSink sink(part, k == 1);
+            CampaignEngine(runner).run(spec, sink, first, end);
+            EXPECT_EQ(sink.rows(), end - first);
+            cat += part.str();
+        }
+        EXPECT_EQ(cat, full.str()) << shards << " shards";
+    }
+}
+
+TEST(CampaignEngineTest, RejectsOutOfRangeCellRanges)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    std::stringstream os;
+    CampaignCsvSink sink(os);
+    CampaignEngine engine;
+    EXPECT_THROW(engine.run(spec, sink, 2, 1), ConfigError);
+    EXPECT_THROW(
+        engine.run(spec, sink, 0, spec.cellCount() + 1),
+        ConfigError);
+}
+
+TEST(CampaignEngineTest, PerTraceTickOverrideChangesOnlyThatTrace)
+{
+    CampaignSpec coarse = smallSpec(SimMode::Pmu);
+    CampaignResult base = CampaignEngine().run(coarse);
+
+    CampaignSpec mixed = smallSpec(SimMode::Pmu);
+    mixed.traces[0].tick(microseconds(10.0));
+    CampaignResult overridden = CampaignEngine().run(mixed);
+
+    // Cells of the other traces are untouched by the override.
+    for (size_t i = 0; i < base.cells.size(); ++i) {
+        if (base.cells[i].trace != mixed.traces[0].name()) {
+            EXPECT_EQ(overridden.cells[i], base.cells[i]);
+        }
+    }
+
+    // The overridden trace simulates at the per-trace tick: a
+    // whole-campaign tick of the same value reproduces it exactly.
+    CampaignSpec fine = smallSpec(SimMode::Pmu);
+    fine.tick = microseconds(10.0);
+    CampaignResult fineAll = CampaignEngine().run(fine);
+    for (size_t i = 0; i < fineAll.cells.size(); ++i) {
+        if (fineAll.cells[i].trace == mixed.traces[0].name()) {
+            EXPECT_EQ(overridden.cells[i], fineAll.cells[i]);
+        }
+    }
+}
+
+TEST(CampaignSpecTest, ValidateRejectsMalformedTraceSpecs)
+{
+    CampaignSpec spec = smallSpec(SimMode::Static);
+    spec.traces.push_back(TraceSpec::file(""));
+    EXPECT_THROW(spec.validate(), ConfigError);
+
+    spec = smallSpec(SimMode::Static);
+    spec.traces[0].tick(seconds(-1.0));
+    EXPECT_THROW(spec.validate(), ConfigError);
 }
 
 TEST(CampaignEngineTest, SinkExceptionAbortsTheCampaign)

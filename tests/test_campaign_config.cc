@@ -6,6 +6,7 @@
  * single-line actionable ConfigError carrying file:line:col.
  */
 
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -13,6 +14,8 @@
 #include "campaign/campaign_engine.hh"
 #include "common/logging.hh"
 #include "config/campaign_config.hh"
+#include "workload/trace_generator.hh"
+#include "workload/trace_io.hh"
 
 namespace pdnspot
 {
@@ -67,7 +70,18 @@ TEST(CampaignConfigTest, GoodSpecMatchesCppConstruction)
     fromCpp.pdns.assign(allPdnKinds.begin(), allPdnKinds.end());
     fromCpp.mode = SimMode::Pmu;
 
-    EXPECT_EQ(fromFile.traces, fromCpp.traces);
+    // The file binds declarative library references, the C++ spec
+    // wraps eager traces — different provenance, but they must
+    // address and resolve to the very same traces.
+    ASSERT_EQ(fromFile.traces.size(), fromCpp.traces.size());
+    for (size_t i = 0; i < fromFile.traces.size(); ++i) {
+        EXPECT_EQ(fromFile.traces[i].kind(),
+                  TraceSpec::Kind::Library);
+        EXPECT_EQ(fromFile.traces[i].name(),
+                  fromCpp.traces[i].name());
+        EXPECT_EQ(fromFile.traces[i].resolve(),
+                  fromCpp.traces[i].resolve());
+    }
     ASSERT_EQ(fromFile.platforms.size(), fromCpp.platforms.size());
     for (size_t i = 0; i < fromFile.platforms.size(); ++i) {
         EXPECT_EQ(fromFile.platforms[i].name,
@@ -91,7 +105,11 @@ TEST(CampaignConfigTest, DefaultsModeTickAndSeed)
     })");
     EXPECT_EQ(spec.mode, SimMode::Static);
     EXPECT_EQ(spec.tick, microseconds(50.0));
-    EXPECT_EQ(spec.traces, standardCampaignTraces(42).traces());
+    const std::vector<PhaseTrace> corpus =
+        standardCampaignTraces(42).traces();
+    ASSERT_EQ(spec.traces.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_EQ(spec.traces[i].resolve(), corpus[i]);
 }
 
 TEST(CampaignConfigTest, SelectsTraceSubsetInListedOrder)
@@ -127,6 +145,176 @@ TEST(CampaignConfigTest, BindsInlineAndPresetDerivedPlatforms)
     EXPECT_EQ(spec.platforms[1].name, "bare-20w");
     EXPECT_EQ(spec.platforms[1].pdnParams.supplyVoltage, volts(8.0));
     EXPECT_DOUBLE_EQ(spec.platforms[1].predictorHysteresis, 0.01);
+}
+
+TEST(CampaignConfigTest, BindsDeclarativeTraceEntries)
+{
+    std::string path = testing::TempDir() + "cfg_trace.csv";
+    {
+        std::ofstream out(path, std::ios::binary);
+        writeTraceCsv(out, TraceGenerator(3).randomMix(
+                               5, milliseconds(4.0)));
+    }
+
+    CampaignSpec spec = loadCampaignSpec(
+        R"({
+      "traces": [
+        {"library": "bursty-compute", "seed": 7},
+        {"generator": {"kind": "random-mix", "seed": 9,
+                       "phases": 6, "mean_phase_ms": 5.0,
+                       "ar_min": 0.5, "ar_max": 0.9},
+         "tick_us": 20.0},
+        {"profile": "web-browsing", "frame_ms": 20.0, "frames": 3},
+        {"file": ")" +
+            path + R"(", "name": "recorded"}
+      ],
+      "platforms": ["ultraportable-15w"],
+      "pdns": ["IVR"]
+    })",
+        "spec.json");
+
+    ASSERT_EQ(spec.traces.size(), 4u);
+    EXPECT_EQ(spec.traces[0].kind(), TraceSpec::Kind::Library);
+    EXPECT_EQ(spec.traces[0].resolve(),
+              standardCampaignTraces(7).get("bursty-compute"));
+
+    EXPECT_EQ(spec.traces[1].kind(), TraceSpec::Kind::Generator);
+    EXPECT_EQ(spec.traces[1].resolve(),
+              TraceGenerator(9).randomMix(6, milliseconds(5.0),
+                                          0.5, 0.9));
+    ASSERT_TRUE(spec.traces[1].tickOverride());
+    EXPECT_EQ(*spec.traces[1].tickOverride(), microseconds(20.0));
+
+    EXPECT_EQ(spec.traces[2].kind(), TraceSpec::Kind::Profile);
+    EXPECT_EQ(spec.traces[2].resolve(),
+              traceFromBatteryProfile(
+                  batteryProfileByName("web-browsing"),
+                  milliseconds(20.0), 3));
+
+    EXPECT_EQ(spec.traces[3].kind(), TraceSpec::Kind::File);
+    EXPECT_EQ(spec.traces[3].name(), "recorded");
+    EXPECT_EQ(spec.traces[3].resolve().phases(),
+              TraceGenerator(3).randomMix(5, milliseconds(4.0))
+                  .phases());
+}
+
+TEST(CampaignConfigTest, ResolvesRelativeTracePathsAgainstTraceDir)
+{
+    std::string dir = testing::TempDir();
+    {
+        std::ofstream out(dir + "relative_trace.csv",
+                          std::ios::binary);
+        out << "duration_s,cstate,type,ar\n"
+               "0.1,C0,multi-thread,0.6\n";
+    }
+    CampaignSpec spec = loadCampaignSpec(
+        R"({
+      "traces": [{"file": "relative_trace.csv"}],
+      "platforms": ["ultraportable-15w"],
+      "pdns": ["IVR"]
+    })",
+        "spec.json", dir);
+    ASSERT_EQ(spec.traces.size(), 1u);
+    EXPECT_EQ(spec.traces[0].name(), "relative_trace");
+    EXPECT_EQ(spec.traces[0].resolve().phases().size(), 1u);
+}
+
+TEST(CampaignConfigTest, RejectsBadTraceEntries)
+{
+    auto wrap = [](const std::string &entry) {
+        return R"({"traces": [)" + entry +
+               R"(], "platforms": ["ultraportable-15w"],
+                  "pdns": ["IVR"]})";
+    };
+    expectSpecError(wrap(R"({"name": "x"})"),
+                    "exactly one source key");
+    expectSpecError(
+        wrap(R"({"library": "bursty-compute",
+                 "profile": "web-browsing"})"),
+        "exactly one source key");
+    expectSpecError(wrap(R"({"library": "no-such", "seed": 7})"),
+                    "no trace \"no-such\"");
+    expectSpecError(wrap(R"({"generator": {"bursts": 3}})"),
+                    "missing required generator key \"kind\"");
+    expectSpecError(
+        wrap(R"({"generator": {"kind": "white-noise"}})"),
+        "unknown generator kind \"white-noise\"");
+    expectSpecError(
+        wrap(R"({"generator": {"kind": "random-mix",
+                               "bursts": 3}})"),
+        "\"bursts\" does not apply");
+    expectSpecError(
+        wrap(R"({"generator": {"kind": "random-mix",
+                               "ar_min": 0.9, "ar_max": 0.4}})"),
+        "\"ar_min\" 0.9 exceeds");
+    expectSpecError(
+        wrap(R"({"generator": {"kind": "day-in-the-life"},
+                 "seed": 3})"),
+        "put \"seed\" inside");
+    expectSpecError(wrap(R"({"profile": "mining"})"),
+                    "unknown battery profile \"mining\"");
+    expectSpecError(
+        wrap(R"({"profile": "web-browsing", "frames": 0})"),
+        "\"frames\" must be in [1,");
+    expectSpecError(
+        wrap(R"({"library": "bursty-compute", "frame_ms": 5.0})"),
+        "only applies to \"profile\" entries");
+    expectSpecError(wrap(R"({"file": "/no/such/trace.csv"})"),
+                    "cannot open trace file");
+    expectSpecError(
+        wrap(R"({"library": "bursty-compute", "tick_us": 0})"),
+        "\"tick_us\" must be positive");
+    expectSpecError(
+        wrap(R"({"library": "bursty-compute", "name": "a,b"})"),
+        "CSV metacharacters");
+    expectSpecError(R"({"traces": [],
+                        "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "at least one trace entry");
+    expectSpecError(
+        wrap(R"({"library": "bursty-compute"},
+                {"library": "bursty-compute", "seed": 9})"),
+        "duplicate trace name \"bursty-compute\"");
+}
+
+TEST(CampaignConfigTest, BrokenTraceFileFailsAtTheSpecPosition)
+{
+    std::string path = testing::TempDir() + "bad_cfg_trace.csv";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "duration_s,cstate,type,ar\n"
+               "-1,C0,multi-thread,0.5\n";
+    }
+    // The error must carry both the spec position and the nested
+    // trace-file position.
+    expectSpecError(R"({"traces": [{"file": ")" + path +
+                        R"("}], "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "duration must be positive", "spec.json:1:");
+    expectSpecError(R"({"traces": [{"file": ")" + path +
+                        R"("}], "platforms": ["ultraportable-15w"],
+                        "pdns": ["IVR"]})",
+                    "bad_cfg_trace.csv:2");
+}
+
+TEST(CampaignConfigTest, DeclarativeSpecRunsEndToEnd)
+{
+    CampaignSpec spec = load(R"({
+      "traces": [
+        {"generator": {"kind": "bursty-compute", "seed": 5,
+                       "bursts": 2, "burst_ms": 5.0,
+                       "idle_ms": 10.0}},
+        {"profile": "video-playback", "frames": 2}
+      ],
+      "platforms": ["fanless-tablet-4w"],
+      "pdns": ["IVR", "FlexWatts"],
+      "mode": "pmu"
+    })");
+    CampaignResult result = CampaignEngine().run(spec);
+    ASSERT_EQ(result.cells.size(), 4u);
+    EXPECT_EQ(result.cells[0].trace, "bursty-compute");
+    EXPECT_EQ(result.cells[2].trace, "video-playback-trace");
+    EXPECT_GT(result.cells[0].sim.supplyEnergy, joules(0.0));
 }
 
 TEST(CampaignConfigTest, RejectsUnknownKeysEverywhere)

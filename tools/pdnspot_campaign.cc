@@ -17,10 +17,20 @@
  *   --battery-wh <x> battery capacity for the summary (default 50)
  *   --threads <n>    thread count (overrides PDNSPOT_THREADS)
  *   --no-memo        disable the per-worker evaluation memo
+ *   --trace-dir <d>  resolve relative "file" trace paths against <d>
+ *                    (default: the spec file's directory)
+ *   --shard k/n      run only shard k of n (1-based): a contiguous
+ *                    range of the campaign's canonical cell order.
+ *                    Shard 1 carries the CSV header; concatenating
+ *                    the n shard CSVs in order is byte-identical to
+ *                    the unsharded run
  *   --dry-run        load + validate the spec, report the campaign
  *                    shape, and exit without simulating
  *   --echo-spec      print the parsed spec back as normalized JSON
  *                    and exit
+ *   --list-traces    print the standard trace library (with --seed)
+ *   --list-presets   print the named PlatformConfig presets
+ *   --seed <n>       library seed for --list-traces (default 42)
  */
 
 #include <fstream>
@@ -41,7 +51,10 @@ using namespace pdnspot;
 constexpr const char *usageText =
     "usage: pdnspot_campaign <spec.json> [-o out.csv] [--summary]\n"
     "                        [--battery-wh <x>] [--threads <n>]\n"
-    "                        [--no-memo] [--dry-run] [--echo-spec]\n";
+    "                        [--no-memo] [--trace-dir <dir>]\n"
+    "                        [--shard k/n] [--dry-run] [--echo-spec]\n"
+    "       pdnspot_campaign --list-traces [--seed <n>]\n"
+    "       pdnspot_campaign --list-presets\n";
 
 /** Parsed command line. */
 struct Options
@@ -52,8 +65,14 @@ struct Options
     double batteryWh = 50.0;
     std::optional<unsigned> threads;
     bool memo = true;
+    std::string traceDir;
+    size_t shardIndex = 1; ///< 1-based
+    size_t shardCount = 1;
     bool dryRun = false;
     bool echoSpec = false;
+    bool listTraces = false;
+    bool listPresets = false;
+    uint64_t listSeed = 42;
 };
 
 [[noreturn]] void
@@ -119,6 +138,54 @@ parseArgs(int argc, char **argv)
             opts.threads = static_cast<unsigned>(n);
         } else if (arg == "--no-memo") {
             opts.memo = false;
+        } else if (arg == "--trace-dir") {
+            opts.traceDir = value(i, "--trace-dir");
+            if (opts.traceDir.empty())
+                usageError("--trace-dir needs a directory");
+        } else if (arg == "--shard") {
+            std::string v = value(i, "--shard");
+            size_t slash = v.find('/');
+            // All-digit components only: std::stoul would accept
+            // "-4" by wrapping it around to a huge shard count.
+            bool digits =
+                slash != std::string::npos && slash > 0 &&
+                slash + 1 < v.size() &&
+                v.find_first_not_of("0123456789") == slash &&
+                v.find_first_not_of("0123456789", slash + 1) ==
+                    std::string::npos;
+            size_t k = 0, n = 0;
+            if (digits) {
+                try {
+                    k = std::stoul(v.substr(0, slash));
+                    n = std::stoul(v.substr(slash + 1));
+                } catch (const std::exception &) {
+                    digits = false;
+                }
+            }
+            if (!digits || k < 1 || n < 1 || k > n)
+                usageError("--shard must be k/n with 1 <= k <= n, "
+                           "got \"" +
+                           v + "\"");
+            opts.shardIndex = k;
+            opts.shardCount = n;
+        } else if (arg == "--seed") {
+            std::string v = value(i, "--seed");
+            size_t used = 0;
+            long seed = 0;
+            try {
+                seed = std::stol(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size() || seed < 0)
+                usageError("--seed must be a non-negative integer, "
+                           "got \"" +
+                           v + "\"");
+            opts.listSeed = static_cast<uint64_t>(seed);
+        } else if (arg == "--list-traces") {
+            opts.listTraces = true;
+        } else if (arg == "--list-presets") {
+            opts.listPresets = true;
         } else if (arg == "--dry-run") {
             opts.dryRun = true;
         } else if (arg == "--echo-spec") {
@@ -131,9 +198,53 @@ parseArgs(int argc, char **argv)
             usageError("more than one spec file given");
         }
     }
-    if (opts.specPath.empty())
+    if (opts.specPath.empty() && !opts.listTraces &&
+        !opts.listPresets)
         usageError("missing spec file");
     return opts;
+}
+
+/** --list-traces: the standard library corpus, spec-author view. */
+void
+printTraceLibrary(uint64_t seed)
+{
+    AsciiTable table(
+        {"trace", "phases", "duration (ms)", "spec reference"});
+    TraceLibrary library = standardCampaignTraces(seed);
+    for (const PhaseTrace &t : library.traces()) {
+        table.addRow({t.name(), std::to_string(t.phases().size()),
+                      AsciiTable::num(
+                          inMilliseconds(t.totalDuration()), 1),
+                      strprintf("{\"library\": \"%s\", \"seed\": "
+                                "%llu}",
+                                t.name().c_str(),
+                                static_cast<unsigned long long>(
+                                    seed))});
+    }
+    table.print(std::cout);
+    std::cout << "\nBattery profiles (usable as {\"profile\": "
+                 "...}): ";
+    bool first = true;
+    for (const BatteryProfile &p : batteryLifeWorkloads()) {
+        std::cout << (first ? "" : ", ") << p.name;
+        first = false;
+    }
+    std::cout << "\n";
+}
+
+/** --list-presets: the named platform configurations. */
+void
+printPlatformPresets()
+{
+    AsciiTable table({"preset", "TDP (W)", "supply (V)",
+                      "predictor hysteresis"});
+    for (const PlatformConfig &cfg : allPlatformPresets()) {
+        table.addRow({cfg.name, AsciiTable::num(inWatts(cfg.tdp), 0),
+                      AsciiTable::num(
+                          inVolts(cfg.pdnParams.supplyVoltage), 1),
+                      AsciiTable::num(cfg.predictorHysteresis, 3)});
+    }
+    table.print(std::cout);
 }
 
 void
@@ -158,8 +269,8 @@ printSummary(const CampaignSummaryBuilder &builder, double batteryWh)
 class CliSink : public CampaignSink
 {
   public:
-    CliSink(std::ostream &os, bool summarize)
-        : _csv(os), _summarize(summarize)
+    CliSink(std::ostream &os, bool summarize, bool header)
+        : _csv(os, header), _summarize(summarize)
     {}
 
     void
@@ -182,12 +293,31 @@ class CliSink : public CampaignSink
 int
 runCli(const Options &opts)
 {
+    if (opts.listTraces || opts.listPresets) {
+        if (opts.listTraces)
+            printTraceLibrary(opts.listSeed);
+        if (opts.listPresets) {
+            if (opts.listTraces)
+                std::cout << "\n";
+            printPlatformPresets();
+        }
+        return 0;
+    }
+
     if (opts.echoSpec) {
         std::cout << writeJson(parseJsonFile(opts.specPath));
         return 0;
     }
 
-    CampaignSpec spec = loadCampaignSpecFile(opts.specPath);
+    CampaignSpec spec =
+        loadCampaignSpecFile(opts.specPath, opts.traceDir);
+
+    // Shard k/n covers cells [(k-1)*cells/n, k*cells/n): contiguous
+    // in the canonical order, disjoint, and jointly covering.
+    size_t cells = spec.cellCount();
+    size_t firstCell =
+        cells * (opts.shardIndex - 1) / opts.shardCount;
+    size_t endCell = cells * opts.shardIndex / opts.shardCount;
 
     if (opts.dryRun) {
         std::cerr << "pdnspot_campaign: " << opts.specPath << ": "
@@ -197,6 +327,13 @@ runCli(const Options &opts)
                   << spec.cellCount() << " cells ("
                   << toString(spec.mode) << " mode, tick "
                   << inMicroseconds(spec.tick) << " us)\n";
+        for (const TraceSpec &t : spec.traces)
+            std::cerr << "  trace \"" << t.name()
+                      << "\": " << t.describe() << "\n";
+        if (opts.shardCount > 1)
+            std::cerr << "  shard " << opts.shardIndex << "/"
+                      << opts.shardCount << ": cells [" << firstCell
+                      << ", " << endCell << ")\n";
         return 0;
     }
 
@@ -216,8 +353,8 @@ runCli(const Options &opts)
     }
     std::ostream &out = opts.outPath != "-" ? file : std::cout;
 
-    CliSink sink(out, opts.summary);
-    engine.run(spec, sink);
+    CliSink sink(out, opts.summary, opts.shardIndex == 1);
+    engine.run(spec, sink, firstCell, endCell);
 
     if (opts.outPath != "-") {
         file.close();
