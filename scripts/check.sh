@@ -68,6 +68,21 @@ cat "$smoke_dir/shard1.csv" "$smoke_dir/shard2.csv" \
 cmp "$smoke_dir/meas1.csv" "$smoke_dir/shardcat.csv"
 echo "check.sh: trace-source + sharding smoke green"
 
+# Trace-transform smoke: the sensitivity spec derives perturbed
+# variants (time-scale, AR-perturb, repeat+truncate, concat) of the
+# checked-in measured trace; transformed campaigns must stay
+# byte-identical at any thread count, and the transform chains must
+# surface in --dry-run provenance.
+PDNSPOT_THREADS=1 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/sensitivity_campaign.json -o "$smoke_dir/sens1.csv"
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/sensitivity_campaign.json -o "$smoke_dir/sens8.csv"
+cmp "$smoke_dir/sens1.csv" "$smoke_dir/sens8.csv"
+"$build_dir"/tools/pdnspot_campaign \
+    examples/specs/sensitivity_campaign.json --dry-run 2>&1 \
+    | grep -q "ar-perturb(0.1, seed 7)"
+echo "check.sh: trace-transform sensitivity smoke green"
+
 # Second pass: the whole test suite under ASan+UBSan. Bench binaries
 # add nothing here (they are not registered tests), so skip them to
 # halve the sanitized build.

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate the golden files under tests/golden/ from the current
+# build's output. Run this when an intentional change moves one of
+# the byte-stable surfaces (campaign CSV export, trace CSV write,
+# summary table), then review the diff before committing — a golden
+# update is a contract change for downstream tooling.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target test_golden
+
+PDNSPOT_REGEN_GOLDEN=1 "$build_dir"/tests/test_golden
+
+git --no-pager diff --stat -- tests/golden || true
+echo "regen_golden.sh: golden files rewritten; review the diff"

@@ -228,6 +228,64 @@ generatorSpecFromJson(const JsonValue &v)
     return params;
 }
 
+/**
+ * One "transforms" array element: an object holding exactly one
+ * transform key. Scalar-parameter transforms bind the key's value
+ * directly ({"repeat": 3}); ar_perturb takes a parameter object and
+ * concat nests a whole trace entry.
+ */
+TraceTransform
+transformFromJson(const JsonValue &v, const std::string &traceDir)
+{
+    rejectUnknownKeys(v, "transform",
+                      {"repeat", "time_scale", "truncate_ms",
+                       "ar_perturb", "concat"});
+    if (v.members().size() != 1)
+        v.fail("a transform entry holds exactly one of \"repeat\", "
+               "\"time_scale\", \"truncate_ms\", \"ar_perturb\" or "
+               "\"concat\"");
+
+    if (const JsonValue *n = v.find("repeat")) {
+        return TraceTransform::repeat(static_cast<size_t>(
+            n->asInteger("\"repeat\"", 1, 100000L)));
+    }
+    if (const JsonValue *f = v.find("time_scale")) {
+        double factor = f->asNumber();
+        if (!(factor > 0.0))
+            f->fail(strprintf("\"time_scale\" must be positive, got "
+                              "%g",
+                              factor));
+        return TraceTransform::timeScale(factor);
+    }
+    if (const JsonValue *d = v.find("truncate_ms")) {
+        double ms = d->asNumber();
+        if (!(ms > 0.0))
+            d->fail(strprintf("\"truncate_ms\" must be positive, "
+                              "got %g",
+                              ms));
+        return TraceTransform::truncate(milliseconds(ms));
+    }
+    if (const JsonValue *p = v.find("ar_perturb")) {
+        rejectUnknownKeys(*p, "ar_perturb", {"delta", "seed"});
+        const JsonValue *delta = p->find("delta");
+        if (!delta)
+            p->fail("missing required ar_perturb key \"delta\"");
+        double d = delta->asNumber();
+        if (!(d >= 0.0 && d <= 1.0))
+            delta->fail(strprintf("\"delta\" must be in [0, 1], got "
+                                  "%g",
+                                  d));
+        uint64_t seed = 0;
+        if (const JsonValue *s = p->find("seed"))
+            seed = seedFromJson(*s);
+        return TraceTransform::arPerturb(d, seed);
+    }
+    // rejectUnknownKeys left only "concat" possible; a bare "{}"
+    // entry fell through the exactly-one check above.
+    const JsonValue &tail = *v.find("concat");
+    return TraceTransform::concat(traceSpecFromJson(tail, traceDir));
+}
+
 std::vector<std::string>
 profileNames()
 {
@@ -291,7 +349,7 @@ traceSpecFromJson(const JsonValue &value, const std::string &traceDir)
     rejectUnknownKeys(value, "trace",
                       {"library", "generator", "profile", "file",
                        "seed", "frame_ms", "frames", "name",
-                       "tick_us"});
+                       "tick_us", "transforms"});
 
     const JsonValue *library = value.find("library");
     const JsonValue *generator = value.find("generator");
@@ -388,6 +446,13 @@ traceSpecFromJson(const JsonValue &value, const std::string &traceDir)
                                  "%g",
                                  us));
         spec.tick(microseconds(us));
+    }
+    if (const JsonValue *chain = value.find("transforms")) {
+        if (chain->items().empty())
+            chain->fail("\"transforms\" must hold at least one "
+                        "transform entry");
+        for (const JsonValue &step : chain->items())
+            spec.transform(transformFromJson(step, traceDir));
     }
 
     if (file) {

@@ -28,10 +28,22 @@
  *     {"file": "traces/office.csv"}
  *
  *   Every entry also accepts "name" (rename the trace — the campaign
- *   cell address) and "tick_us" (per-cell simulator-tick override).
- *   "file" paths are resolved against the spec file's directory
- *   unless a trace directory is passed explicitly (the CLI's
- *   --trace-dir).
+ *   cell address), "tick_us" (per-cell simulator-tick override), and
+ *   a "transforms" array of derivation steps
+ *   (workload/trace_transform.hh) applied in order after the base
+ *   trace materializes:
+ *
+ *     "transforms": [{"repeat": 3},
+ *                    {"time_scale": 1.5},
+ *                    {"truncate_ms": 500.0},
+ *                    {"ar_perturb": {"delta": 0.1, "seed": 7}},
+ *                    {"concat": {"file": "traces/tail.csv"}}]
+ *
+ *   Each step is an object holding exactly one transform key;
+ *   "concat" nests a full trace entry (any source kind, transforms
+ *   included). "file" paths are resolved against the spec file's
+ *   directory unless a trace directory is passed explicitly (the
+ *   CLI's --trace-dir).
  * - "platforms" entries are either preset names
  *   (platformPresetByName) or objects: {"preset": ..., "name": ...,
  *   "tdp_w": ..., "supply_v": ..., "predictor_hysteresis": ...},

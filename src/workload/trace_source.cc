@@ -126,6 +126,13 @@ TraceSpec::tick(Time tick)
     return *this;
 }
 
+TraceSpec &
+TraceSpec::transform(TraceTransform step)
+{
+    _transforms.push_back(std::move(step));
+    return *this;
+}
+
 PhaseTrace
 TraceSpec::resolve() const
 {
@@ -161,6 +168,8 @@ TraceSpec::resolve() const
         t = readTraceFile(_path, _name);
         break;
     }
+    for (const TraceTransform &step : _transforms)
+        t = step.apply(t);
     // The resolved trace must answer to the declared cell address,
     // whatever name its source baked in.
     if (t.name() != _name)
@@ -195,6 +204,8 @@ TraceSpec::describe() const
         d = strprintf("file \"%s\"", _path.c_str());
         break;
     }
+    for (const TraceTransform &step : _transforms)
+        d += " | " + step.describe();
     if (_tick)
         d += strprintf(", tick %g us", inMicroseconds(*_tick));
     return d;
@@ -269,6 +280,9 @@ TraceSpec::validate() const
                             _name.c_str()));
         break;
     }
+
+    for (const TraceTransform &step : _transforms)
+        step.validate(_name);
 }
 
 } // namespace pdnspot

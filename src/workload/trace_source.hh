@@ -24,6 +24,7 @@
 
 #include "common/units.hh"
 #include "workload/trace.hh"
+#include "workload/trace_transform.hh"
 
 namespace pdnspot
 {
@@ -120,6 +121,15 @@ class TraceSpec
      */
     TraceSpec &tick(Time tick);
 
+    /**
+     * Append a derivation step (workload/trace_transform.hh) to the
+     * spec's transform chain. resolve() applies the chain in append
+     * order after the base trace materializes, so any provenance
+     * kind can carry repeat/time-scale/truncate/ar-perturb/concat
+     * steps — the declarative form of a sensitivity-study variant.
+     */
+    TraceSpec &transform(TraceTransform step);
+
     Kind kind() const { return _kind; }
 
     /** The trace name cells of this spec are addressed by. */
@@ -127,27 +137,37 @@ class TraceSpec
 
     const std::optional<Time> &tickOverride() const { return _tick; }
 
+    /** The transform chain, in application order. */
+    const std::vector<TraceTransform> &
+    transforms() const
+    {
+        return _transforms;
+    }
+
     /**
-     * Materialize the trace. Deterministic: equal specs resolve to
-     * equal traces (file-backed specs additionally depend on the
-     * file contents). fatal() on unresolvable specs — an unknown
-     * library trace or profile name, bad generator parameters, or an
-     * unreadable/invalid trace file.
+     * Materialize the trace: resolve the base provenance, then apply
+     * the transform chain in order. Deterministic: equal specs
+     * resolve to equal traces (file-backed specs additionally depend
+     * on the file contents). fatal() on unresolvable specs — an
+     * unknown library trace or profile name, bad generator or
+     * transform parameters, or an unreadable/invalid trace file.
      */
     PhaseTrace resolve() const;
 
     /**
      * One-line provenance description ("library \"bursty-compute\"
-     * (seed 42)", "file \"traces/office.csv\"", ...) for listings
-     * and error messages.
+     * (seed 42)", "file \"traces/office.csv\" | ar-perturb(0.1,
+     * seed 7)", ...) for listings and error messages; transform
+     * chains appear as "| step" suffixes in application order.
      */
     std::string describe() const;
 
     /**
      * fatal() unless the spec is well-formed without resolving it:
      * a non-empty CSV-safe name, known generator kind, valid AR
-     * range and counts, and a positive tick override if any.
-     * File existence/content errors surface at resolve() time.
+     * range and counts, valid transform parameters, and a positive
+     * tick override if any. File existence/content errors surface
+     * at resolve() time.
      */
     void validate() const;
 
@@ -165,6 +185,7 @@ class TraceSpec
     size_t _frames = 0;           ///< Profile
     std::string _path;            ///< File
 
+    std::vector<TraceTransform> _transforms;
     std::optional<Time> _tick;
 };
 

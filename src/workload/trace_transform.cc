@@ -1,0 +1,196 @@
+#include "workload/trace_transform.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/noise.hh"
+#include "workload/trace_source.hh"
+
+namespace pdnspot
+{
+
+TraceTransform
+TraceTransform::repeat(size_t count)
+{
+    TraceTransform t;
+    t._kind = Kind::Repeat;
+    t._count = count;
+    return t;
+}
+
+TraceTransform
+TraceTransform::timeScale(double factor)
+{
+    TraceTransform t;
+    t._kind = Kind::TimeScale;
+    t._factor = factor;
+    return t;
+}
+
+TraceTransform
+TraceTransform::truncate(Time duration)
+{
+    TraceTransform t;
+    t._kind = Kind::Truncate;
+    t._duration = duration;
+    return t;
+}
+
+TraceTransform
+TraceTransform::arPerturb(double delta, uint64_t seed)
+{
+    TraceTransform t;
+    t._kind = Kind::ArPerturb;
+    t._factor = delta;
+    t._seed = seed;
+    return t;
+}
+
+TraceTransform
+TraceTransform::concat(TraceSpec tail)
+{
+    TraceTransform t;
+    t._kind = Kind::Concat;
+    t._tail = std::make_shared<const TraceSpec>(std::move(tail));
+    return t;
+}
+
+PhaseTrace
+TraceTransform::apply(const PhaseTrace &trace) const
+{
+    std::vector<TracePhase> phases;
+    switch (_kind) {
+      case Kind::Repeat:
+        phases.reserve(trace.phases().size() * _count);
+        for (size_t i = 0; i < _count; ++i)
+            phases.insert(phases.end(), trace.phases().begin(),
+                          trace.phases().end());
+        break;
+      case Kind::TimeScale:
+        phases = trace.phases();
+        for (TracePhase &p : phases)
+            p.duration = p.duration * _factor;
+        break;
+      case Kind::Truncate: {
+        Time elapsed;
+        for (const TracePhase &p : trace.phases()) {
+            if (elapsed + p.duration <= _duration) {
+                phases.push_back(p);
+                elapsed += p.duration;
+                if (elapsed == _duration)
+                    break;
+                continue;
+            }
+            // The phase spanning the cut survives as its prefix;
+            // _duration > elapsed here, so the prefix is non-empty.
+            TracePhase partial = p;
+            partial.duration = _duration - elapsed;
+            phases.push_back(partial);
+            break;
+        }
+        break;
+      }
+      case Kind::ArPerturb: {
+        HashNoise noise(_seed);
+        phases = trace.phases();
+        for (size_t i = 0; i < phases.size(); ++i) {
+            if (phases[i].cstate != PackageCState::C0)
+                continue;
+            double ar = phases[i].ar +
+                        _factor * noise.signedUnit(i);
+            phases[i].ar = std::min(1.0, std::max(0.0, ar));
+        }
+        break;
+      }
+      case Kind::Concat: {
+        PhaseTrace tail = _tail->resolve();
+        phases.reserve(trace.phases().size() +
+                       tail.phases().size());
+        phases = trace.phases();
+        phases.insert(phases.end(), tail.phases().begin(),
+                      tail.phases().end());
+        break;
+      }
+    }
+    // The PhaseTrace constructor re-validates every phase, so a
+    // transform can never hand the simulator an unsimulatable trace.
+    return PhaseTrace(trace.name(), std::move(phases));
+}
+
+std::string
+TraceTransform::describe() const
+{
+    switch (_kind) {
+      case Kind::Repeat:
+        return strprintf("repeat(%zu)", _count);
+      case Kind::TimeScale:
+        return strprintf("time-scale(x%g)", _factor);
+      case Kind::Truncate:
+        return strprintf("truncate(%g ms)",
+                         inMilliseconds(_duration));
+      case Kind::ArPerturb:
+        return strprintf("ar-perturb(%g, seed %llu)", _factor,
+                         static_cast<unsigned long long>(_seed));
+      case Kind::Concat:
+        return "concat(" + _tail->describe() + ")";
+    }
+    panic("TraceTransform::describe: unreachable kind");
+}
+
+void
+TraceTransform::validate(const std::string &traceName) const
+{
+    switch (_kind) {
+      case Kind::Repeat:
+        if (_count == 0)
+            fatal(strprintf("TraceSpec \"%s\": repeat count must be "
+                            "at least 1",
+                            traceName.c_str()));
+        break;
+      case Kind::TimeScale:
+        if (!std::isfinite(_factor) || !(_factor > 0.0))
+            fatal(strprintf("TraceSpec \"%s\": time-scale factor "
+                            "must be positive and finite, got %g",
+                            traceName.c_str(), _factor));
+        break;
+      case Kind::Truncate:
+        if (!std::isfinite(inSeconds(_duration)) ||
+            _duration <= seconds(0.0))
+            fatal(strprintf("TraceSpec \"%s\": truncate duration "
+                            "must be positive and finite, got %g s",
+                            traceName.c_str(),
+                            inSeconds(_duration)));
+        break;
+      case Kind::ArPerturb:
+        if (!(_factor >= 0.0 && _factor <= 1.0))
+            fatal(strprintf("TraceSpec \"%s\": ar-perturb delta "
+                            "must be in [0, 1], got %g",
+                            traceName.c_str(), _factor));
+        break;
+      case Kind::Concat:
+        _tail->validate();
+        break;
+    }
+}
+
+bool
+TraceTransform::operator==(const TraceTransform &other) const
+{
+    if (_kind != other._kind)
+        return false;
+    switch (_kind) {
+      case Kind::Repeat:
+        return _count == other._count;
+      case Kind::TimeScale:
+        return _factor == other._factor;
+      case Kind::Truncate:
+        return _duration == other._duration;
+      case Kind::ArPerturb:
+        return _factor == other._factor && _seed == other._seed;
+      case Kind::Concat:
+        return *_tail == *other._tail;
+    }
+    return false;
+}
+
+} // namespace pdnspot

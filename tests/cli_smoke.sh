@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Script-driven smoke tests for the pdnspot_campaign CLI, registered
+# one case per CTest test (tests/CMakeLists.txt). Each case asserts
+# the exit code and the relevant stdout/stderr fragment for a CLI
+# surface the GoogleTest suites cannot reach: argv parsing, usage
+# errors, spec-error reporting, the listing commands, and --dry-run
+# transform provenance.
+#
+# Usage: cli_smoke.sh <pdnspot_campaign-binary> <case> <spec-dir>
+
+set -u
+
+tool="$1"
+case_name="$2"
+spec_dir="$3"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail()
+{
+    echo "cli_smoke $case_name: $1" >&2
+    echo "--- stdout ---" >&2
+    cat "$tmp/out" >&2
+    echo "--- stderr ---" >&2
+    cat "$tmp/err" >&2
+    exit 1
+}
+
+# run <expected-exit> <args...>: invoke the tool, capture both
+# streams, and assert the exit code.
+run()
+{
+    local expected="$1"
+    shift
+    local status=0
+    "$tool" "$@" >"$tmp/out" 2>"$tmp/err" || status=$?
+    if [ "$status" -ne "$expected" ]; then
+        fail "expected exit $expected, got $status"
+    fi
+}
+
+expect_err() { grep -qF -- "$1" "$tmp/err" || fail "stderr lacks \"$1\""; }
+expect_out() { grep -qF -- "$1" "$tmp/out" || fail "stdout lacks \"$1\""; }
+
+case "$case_name" in
+  usage_no_spec)
+    run 2
+    expect_err "missing spec file"
+    expect_err "usage: pdnspot_campaign"
+    ;;
+  usage_bad_shard)
+    run 2 "$spec_dir/paper_campaign.json" --shard 0/2
+    expect_err "--shard must be k/n with 1 <= k <= n"
+    run 2 "$spec_dir/paper_campaign.json" --shard 3/2
+    expect_err "--shard must be k/n with 1 <= k <= n"
+    run 2 "$spec_dir/paper_campaign.json" --shard -1/2
+    expect_err "--shard must be k/n with 1 <= k <= n"
+    ;;
+  usage_bad_threads)
+    run 2 "$spec_dir/paper_campaign.json" --threads zero
+    expect_err "--threads must be a positive integer"
+    run 2 "$spec_dir/paper_campaign.json" --threads 0
+    expect_err "--threads must be a positive integer"
+    ;;
+  usage_unknown_option)
+    run 2 "$spec_dir/paper_campaign.json" --frobnicate
+    expect_err 'unknown option "--frobnicate"'
+    ;;
+  missing_spec_file)
+    run 1 "$tmp/no_such_spec.json"
+    expect_err "no_such_spec.json"
+    ;;
+  bad_spec_position)
+    # A spec whose only problem sits at line 3: the error must carry
+    # the file:line:col position of the offending value.
+    cat >"$tmp/bad_spec.json" <<'EOF'
+{
+  "traces": [
+    {"generator": {"kind": "perlin"}}],
+  "platforms": ["ultraportable-15w"],
+  "pdns": "all"
+}
+EOF
+    run 1 "$tmp/bad_spec.json"
+    expect_err "bad_spec.json:3:"
+    expect_err 'unknown generator kind "perlin"'
+    ;;
+  list_traces)
+    run 0 --list-traces
+    expect_out "day-in-the-life"
+    expect_out "spec reference"
+    expect_out "Battery profiles"
+    ;;
+  list_presets)
+    run 0 --list-presets
+    expect_out "ultraportable-15w"
+    expect_out "fanless-tablet-4w"
+    ;;
+  dry_run_provenance)
+    run 0 "$spec_dir/sensitivity_campaign.json" --dry-run
+    expect_err 'file "'
+    expect_err "time-scale(x1.5)"
+    expect_err "ar-perturb(0.1, seed 7)"
+    expect_err "repeat(3) | truncate(2500 ms)"
+    expect_err 'concat(generator "bursty-compute" (seed 7))'
+    ;;
+  *)
+    echo "cli_smoke: unknown case \"$case_name\"" >&2
+    exit 1
+    ;;
+esac
+
+echo "cli_smoke $case_name: ok"

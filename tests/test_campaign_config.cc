@@ -436,6 +436,96 @@ TEST(CampaignConfigTest, DuplicatesFailAtTheOffendingValue)
                     "\"tdp_w\" must be within");
 }
 
+TEST(CampaignConfigTest, BindsTransformChains)
+{
+    CampaignSpec spec = load(R"({
+      "traces": [
+        {"library": "bursty-compute", "name": "bursty-variant",
+         "transforms": [
+           {"repeat": 2},
+           {"time_scale": 1.5},
+           {"ar_perturb": {"delta": 0.1, "seed": 7}},
+           {"concat": {"library": "day-in-the-life"}},
+           {"truncate_ms": 900.0}]}
+      ],
+      "platforms": ["fanless-tablet-4w"],
+      "pdns": ["IVR"]
+    })");
+
+    TraceSpec byHand =
+        TraceSpec::library("bursty-compute", 42)
+            .rename("bursty-variant")
+            .transform(TraceTransform::repeat(2))
+            .transform(TraceTransform::timeScale(1.5))
+            .transform(TraceTransform::arPerturb(0.1, 7))
+            .transform(TraceTransform::concat(
+                TraceSpec::library("day-in-the-life", 42)))
+            .transform(TraceTransform::truncate(
+                milliseconds(900.0)));
+    ASSERT_EQ(spec.traces.size(), 1u);
+    EXPECT_EQ(spec.traces[0], byHand);
+    EXPECT_EQ(spec.traces[0].resolve(), byHand.resolve());
+    EXPECT_EQ(spec.traces[0].transforms().size(), 5u);
+}
+
+TEST(CampaignConfigTest, RejectsBadTransformEntries)
+{
+    auto wrap = [](const std::string &transforms) {
+        return std::string(R"({"traces": [
+          {"library": "bursty-compute",
+           "transforms": )") +
+               transforms + R"(}],
+          "platforms": ["fanless-tablet-4w"], "pdns": ["IVR"]})";
+    };
+    expectSpecError(wrap("[]"),
+                    "\"transforms\" must hold at least one");
+    expectSpecError(wrap("[{}]"), "exactly one of");
+    expectSpecError(wrap("[{\"repeat\": 2, \"time_scale\": 1.5}]"),
+                    "exactly one of");
+    expectSpecError(wrap("[{\"rotate\": 90}]"),
+                    "unknown transform key \"rotate\"");
+    expectSpecError(wrap("[{\"repeat\": 0}]"),
+                    "\"repeat\" must be in [1, 100000]");
+    expectSpecError(wrap("[{\"repeat\": 2.5}]"),
+                    "\"repeat\" must be an integer");
+    expectSpecError(wrap("[{\"time_scale\": 0.0}]"),
+                    "\"time_scale\" must be positive");
+    expectSpecError(wrap("[{\"time_scale\": -2.0}]"),
+                    "\"time_scale\" must be positive");
+    expectSpecError(wrap("[{\"truncate_ms\": 0.0}]"),
+                    "\"truncate_ms\" must be positive");
+    expectSpecError(wrap("[{\"ar_perturb\": {\"seed\": 1}}]"),
+                    "missing required ar_perturb key \"delta\"");
+    expectSpecError(wrap("[{\"ar_perturb\": {\"delta\": 1.5}}]"),
+                    "\"delta\" must be in [0, 1]");
+    expectSpecError(
+        wrap("[{\"ar_perturb\": {\"delta\": 0.1, \"bias\": 1}}]"),
+        "unknown ar_perturb key \"bias\"");
+    // Concat operands are full trace entries, validated recursively
+    // at their own position.
+    expectSpecError(
+        wrap("[{\"concat\": {\"library\": \"no-such-trace\"}}]"),
+        "no trace \"no-such-trace\"");
+    expectSpecError(
+        wrap("[{\"concat\": {\"generator\": {\"kind\": "
+             "\"perlin\"}}}]"),
+        "unknown generator kind \"perlin\"");
+}
+
+TEST(CampaignConfigTest, TransformErrorsCarryTheValuePosition)
+{
+    // The offending scalar — the value 0 — sits at line 4 column
+    // 36; the error must point there, not at the "repeat" key, the
+    // trace entry or the document.
+    expectSpecError(R"({
+      "traces": [
+        {"library": "bursty-compute",
+         "transforms": [{"repeat": 0}]}],
+      "platforms": ["fanless-tablet-4w"], "pdns": ["IVR"]})",
+                    "must be in [1, 100000]",
+                    "spec.json:4:36");
+}
+
 TEST(CampaignConfigTest, LoadedSpecRunsEndToEnd)
 {
     CampaignSpec spec = load(R"({

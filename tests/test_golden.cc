@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Golden-file regression net over the repo's byte-stable text
+ * surfaces: campaign CSV export, trace CSV write, and the per-PDN
+ * summary table. Each test renders a deterministic fixture and
+ * compares it byte for byte against a checked-in file under
+ * tests/golden/ — any formatting or numeric drift in the promised
+ * surfaces fails loudly instead of silently changing downstream
+ * tooling's inputs.
+ *
+ * Running with PDNSPOT_REGEN_GOLDEN=1 in the environment rewrites
+ * the golden files from the current output instead of comparing
+ * (scripts/regen_golden.sh drives that); review the diff before
+ * committing a regeneration.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign_engine.hh"
+#include "common/table.hh"
+#include "workload/trace_io.hh"
+#include "workload/trace_source.hh"
+#include "workload/trace_transform.hh"
+
+namespace pdnspot
+{
+namespace
+{
+
+/**
+ * Compare `actual` against the checked-in golden file, or rewrite
+ * the file when regenerating.
+ */
+void
+checkGolden(const std::string &fileName, const std::string &actual)
+{
+    std::string path =
+        std::string(PDNSPOT_GOLDEN_DIR) + "/" + fileName;
+
+    if (std::getenv("PDNSPOT_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        out.close();
+        ASSERT_TRUE(out.good()) << "error writing " << path;
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — run scripts/regen_golden.sh";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual, expected.str())
+        << "output drifted from " << path
+        << "; if the change is intentional, run "
+        << "scripts/regen_golden.sh and review the diff";
+}
+
+/**
+ * The golden campaign: heterogeneous but small (2 traces x 1
+ * platform x 2 PDNs, PMU mode), with one transformed trace so the
+ * derivation pipeline sits inside the regression net too.
+ */
+CampaignSpec
+goldenSpec()
+{
+    TraceGeneratorSpec mix;
+    mix.kind = "random-mix";
+    mix.seed = 31;
+    mix.phases = 10;
+    mix.meanPhaseLen = milliseconds(6.0);
+
+    CampaignSpec spec;
+    spec.traces.push_back(TraceSpec::generator(mix));
+    spec.traces.push_back(
+        TraceSpec::library("bursty-compute", 42)
+            .rename("bursty-jittered")
+            .transform(TraceTransform::arPerturb(0.05, 9))
+            .transform(TraceTransform::repeat(2)));
+    spec.platforms = {ultraportablePreset()};
+    spec.pdns = {PdnKind::IVR, PdnKind::FlexWatts};
+    spec.mode = SimMode::Pmu;
+    return spec;
+}
+
+CampaignResult
+goldenResult()
+{
+    ParallelRunner serial(1);
+    return CampaignEngine(serial).run(goldenSpec());
+}
+
+TEST(GoldenFileTest, CampaignCsvExport)
+{
+    std::ostringstream csv;
+    goldenResult().writeCsv(csv);
+    checkGolden("campaign_export.csv", csv.str());
+}
+
+TEST(GoldenFileTest, TraceCsvWrite)
+{
+    PhaseTrace trace =
+        TraceSpec::library("day-in-the-life", 42)
+            .transform(TraceTransform::timeScale(1.25))
+            .transform(TraceTransform::truncate(seconds(30.0)))
+            .resolve();
+    std::ostringstream csv;
+    writeTraceCsv(csv, trace);
+    checkGolden("trace_write.csv", csv.str());
+}
+
+TEST(GoldenFileTest, SummaryTable)
+{
+    // The same table pdnspot_campaign --summary prints, so the
+    // CLI-facing summary format is pinned alongside the CSVs.
+    BatteryModel battery(wattHours(50.0));
+    AsciiTable table({"PDN", "cells", "supply (J)", "mean ETEE",
+                      "switches", "life @50Wh (h)"});
+    for (const CampaignPdnSummary &s :
+         goldenResult().summarizeByPdn(battery)) {
+        table.addRow({pdnKindToString(s.pdn),
+                      std::to_string(s.cells),
+                      AsciiTable::num(inJoules(s.supplyEnergy), 2),
+                      AsciiTable::percent(s.meanEtee(), 1),
+                      std::to_string(s.modeSwitches),
+                      AsciiTable::num(s.batteryLifeHours, 1)});
+    }
+    std::ostringstream out;
+    table.print(out);
+    checkGolden("summary.txt", out.str());
+}
+
+} // namespace
+} // namespace pdnspot

@@ -25,7 +25,8 @@
  *                    the n shard CSVs in order is byte-identical to
  *                    the unsharded run
  *   --dry-run        load + validate the spec, report the campaign
- *                    shape, and exit without simulating
+ *                    shape and per-trace provenance (including any
+ *                    transform chains), and exit without simulating
  *   --echo-spec      print the parsed spec back as normalized JSON
  *                    and exit
  *   --list-traces    print the standard trace library (with --seed)
