@@ -8,6 +8,8 @@
 
 #include "bench_util.hh"
 
+#include <chrono>
+
 #include "campaign/campaign_engine.hh"
 #include "common/table.hh"
 #include "workload/trace_generator.hh"
@@ -16,6 +18,13 @@ namespace
 {
 
 using namespace pdnspot;
+
+/** Sink for throughput runs: cells are simulated, then dropped. */
+class DiscardSink : public CampaignSink
+{
+  public:
+    void consume(CampaignCellResult) override {}
+};
 
 CampaignSpec
 smallSpec(SimMode mode)
@@ -125,10 +134,55 @@ campaignMemo(benchmark::State &state)
     CampaignEngine engine(serial);
     engine.memoize(state.range(0) != 0);
     CampaignSpec spec = repeatedStateSpec();
+    CampaignRunStats last;
     for (auto _ : state) {
         CampaignResult r = engine.run(spec);
         benchmark::DoNotOptimize(r.cells.data());
     }
+    // One stats pass outside the timed loop: the hit rate is a
+    // deterministic property of (spec, memoize), not a timing.
+    DiscardSink sink;
+    engine.run(spec, sink, &last);
+    state.counters["memo_hit_rate"] = last.memoHitRate();
+    state.counters["threads"] = 1;
+}
+
+/**
+ * The trajectory workhorse: streamed campaign execution measured in
+ * cells/sec and ns/phase, with the memo hit rate alongside — the
+ * three metrics scripts/bench.sh snapshots into BENCH_<n>.json and
+ * tools/bench_diff gates on.
+ */
+void
+campaignThroughput(benchmark::State &state)
+{
+    unsigned nthreads = static_cast<unsigned>(state.range(0));
+    ParallelRunner pool(nthreads);
+    CampaignEngine engine(pool);
+    CampaignSpec spec = repeatedStateSpec();
+    size_t cellCount = spec.cellCount();
+
+    uint64_t cells = 0;
+    uint64_t phases = 0;
+    CampaignRunStats last;
+    auto start = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        DiscardSink sink;
+        CampaignRunStats stats;
+        engine.run(spec, sink, 0, cellCount, &stats);
+        cells += stats.cells;
+        phases += stats.phases;
+        last = stats;
+    }
+    double ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    state.counters["cells_per_sec"] =
+        ns > 0.0 ? static_cast<double>(cells) / (ns * 1e-9) : 0.0;
+    state.counters["ns_per_phase"] =
+        phases ? ns / static_cast<double>(phases) : 0.0;
+    state.counters["memo_hit_rate"] = last.memoHitRate();
+    state.counters["threads"] = nthreads;
 }
 
 BENCHMARK(campaignSerial)->Unit(benchmark::kMillisecond);
@@ -142,6 +196,11 @@ BENCHMARK(campaignMode)
     ->Arg(static_cast<int>(SimMode::Static))
     ->Arg(static_cast<int>(SimMode::Pmu))
     ->Arg(static_cast<int>(SimMode::Oracle))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(campaignThroughput)
+    ->Arg(1)
+    ->Arg(8)
+    ->ArgNames({"threads"})
     ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace

@@ -7,6 +7,8 @@
 
 #include "bench_util.hh"
 
+#include <chrono>
+
 #include "common/parallel.hh"
 #include "pdnspot/sweep.hh"
 
@@ -24,34 +26,41 @@ denseTdps()
     return tdps;
 }
 
+/** Shared sweep loop: trajectory counters for any pool width. */
 void
-sweepSerial(benchmark::State &state)
+sweepBench(benchmark::State &state, unsigned nthreads)
 {
     const Platform &pf = bench::platform();
-    ParallelRunner serial(1);
-    SweepEngine engine(pf, serial);
+    ParallelRunner pool(nthreads);
+    SweepEngine engine(pf, pool);
     std::vector<PdnKind> kinds(allPdnKinds.begin(), allPdnKinds.end());
     std::vector<double> tdps = denseTdps();
+    uint64_t points = 0;
+    auto start = std::chrono::steady_clock::now();
     for (auto _ : state) {
         SweepResult r = engine.eteeVsTdp(WorkloadType::MultiThread,
                                          0.56, tdps, kinds);
         benchmark::DoNotOptimize(r);
+        points += tdps.size() * kinds.size();
     }
+    double ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    state.counters["points_per_sec"] =
+        ns > 0.0 ? static_cast<double>(points) / (ns * 1e-9) : 0.0;
+    state.counters["threads"] = nthreads;
+}
+
+void
+sweepSerial(benchmark::State &state)
+{
+    sweepBench(state, 1);
 }
 
 void
 sweepParallel(benchmark::State &state)
 {
-    const Platform &pf = bench::platform();
-    ParallelRunner pool(static_cast<unsigned>(state.range(0)));
-    SweepEngine engine(pf, pool);
-    std::vector<PdnKind> kinds(allPdnKinds.begin(), allPdnKinds.end());
-    std::vector<double> tdps = denseTdps();
-    for (auto _ : state) {
-        SweepResult r = engine.eteeVsTdp(WorkloadType::MultiThread,
-                                         0.56, tdps, kinds);
-        benchmark::DoNotOptimize(r);
-    }
+    sweepBench(state, static_cast<unsigned>(state.range(0)));
 }
 
 void
@@ -79,7 +88,11 @@ eteeTableParallel(benchmark::State &state)
 }
 
 BENCHMARK(sweepSerial);
-BENCHMARK(sweepParallel)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(sweepParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"});
 BENCHMARK(eteeTableSerial);
 BENCHMARK(eteeTableParallel)->Arg(2)->Arg(4)->Arg(8);
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full verification pass: configure, build with warnings-as-errors,
-# run every registered test in parallel, then repeat the test suite
-# under AddressSanitizer + UBSan (the threaded campaign/sweep paths
-# are sanitizer-gated). This is the tier-1 gate (ROADMAP.md) and is
-# ready to drop into CI as-is.
+# run every registered test in parallel, snapshot + diff the
+# benchmark trajectory (scripts/bench.sh), then repeat the test
+# suite under AddressSanitizer + UBSan (the threaded campaign/sweep
+# paths are sanitizer-gated). This is the tier-1 gate (ROADMAP.md)
+# and is ready to drop into CI as-is.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check; the
 # sanitizer pass uses <build-dir>-asan)
@@ -82,6 +83,16 @@ cmp "$smoke_dir/sens1.csv" "$smoke_dir/sens8.csv"
     examples/specs/sensitivity_campaign.json --dry-run 2>&1 \
     | grep -q "ar-perturb(0.1, seed 7)"
 echo "check.sh: trace-transform sensitivity smoke green"
+
+# Benchmark trajectory: run the campaign/sweep benches in --json
+# mode, merge the next BENCH_<n>.json snapshot at the repo root, and
+# diff it against the previous one — a >20% regression on cells/sec,
+# ns/phase or the memo hit rate fails this script like a test
+# failure (thresholds: PDNSPOT_BENCH_WARN_PCT/PDNSPOT_BENCH_FAIL_PCT;
+# first run just records the baseline). No-op on hosts without
+# google-benchmark.
+scripts/bench.sh "$build_dir"
+echo "check.sh: bench trajectory green"
 
 # Second pass: the whole test suite under ASan+UBSan. Bench binaries
 # add nothing here (they are not registered tests), so skip them to

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Benchmark-trajectory records: the stable machine-readable schema
+ * the bench binaries emit (`bench_* --json <path>`), scripts/bench.sh
+ * merges into `BENCH_<n>.json` snapshots at the repo root, and
+ * tools/bench_diff compares run over run so a perf regression is as
+ * visible as a test failure.
+ *
+ * Schema (version "pdnspot-bench-1"): a document is the object
+ *
+ *   {"schema": "pdnspot-bench-1", "records": [...]}
+ *
+ * and every record is
+ *
+ *   {"benchmark": "campaignThroughput/threads:8",
+ *    "metric": "cells_per_sec", "value": 1234.5,
+ *    "unit": "cells/s", "git_rev": "abc1234", "threads": 8}
+ *
+ * Regression direction is a pure function of the unit
+ * (directionForUnit), so the comparator needs no out-of-band
+ * metadata: time-like units (ns, us, ms, s, ns/phase, ...) regress
+ * upward, everything else (rates, ratios, counts) regresses
+ * downward. Merging snapshots is record concatenation.
+ */
+
+#ifndef PDNSPOT_BENCH_TRAJECTORY_HH
+#define PDNSPOT_BENCH_TRAJECTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "config/json.hh"
+
+namespace pdnspot
+{
+
+/** Schema marker every trajectory document carries. */
+inline constexpr const char *benchSchemaVersion = "pdnspot-bench-1";
+
+/** One (benchmark, metric) measurement of one snapshot. */
+struct BenchRecord
+{
+    std::string benchmark;
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+    std::string gitRev = "unknown";
+    unsigned threads = 1;
+
+    bool operator==(const BenchRecord &) const = default;
+};
+
+/**
+ * Unit of a well-known counter metric ("count" for anything not in
+ * the table). The bench binaries attach counters by metric name;
+ * this is the single place that maps those names onto schema units.
+ */
+std::string benchMetricUnit(const std::string &metric);
+
+/** Serialize records as a schema document (writeJson formatting). */
+std::string writeBenchJson(const std::vector<BenchRecord> &records);
+
+/**
+ * Parse a schema document; fatal() (ConfigError, with the value's
+ * file:line:col position) on a missing/mistyped member or a schema
+ * version mismatch.
+ */
+std::vector<BenchRecord> parseBenchJson(const JsonValue &doc);
+
+/** parseBenchJson over a file's contents; fatal() if unreadable. */
+std::vector<BenchRecord> readBenchJsonFile(const std::string &path);
+
+/** Which way a metric gets worse. */
+enum class MetricDirection
+{
+    HigherIsBetter, ///< rates, ratios, counts
+    LowerIsBetter,  ///< times (ns, us, ms, s and per-item forms)
+};
+
+/**
+ * Direction by unit: "ns"/"us"/"ms"/"s" and any "<time>/<item>"
+ * form of them (e.g. "ns/phase") are LowerIsBetter; every other
+ * unit (e.g. "cells/s", "ratio", "count") is HigherIsBetter.
+ */
+MetricDirection directionForUnit(const std::string &unit);
+
+/** Outcome of comparing one metric across two snapshots. */
+enum class BenchVerdict
+{
+    Improved,        ///< better by more than the warn threshold
+    Flat,            ///< within the warn threshold either way
+    SmallRegression, ///< worse by more than warn, at most fail
+    BigRegression,   ///< worse by more than the fail threshold
+    Missing,         ///< in the old snapshot, absent from the new
+};
+
+const char *toString(BenchVerdict verdict);
+
+/** One metric's old-vs-new comparison. */
+struct BenchDelta
+{
+    std::string benchmark;
+    std::string metric;
+    std::string unit;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+
+    /**
+     * Percent change toward "worse" per the unit's direction:
+     * positive = regression, negative = improvement. 0 for Missing.
+     */
+    double regressionPct = 0.0;
+
+    BenchVerdict verdict = BenchVerdict::Flat;
+};
+
+/**
+ * Compare `newRecords` against `oldRecords` metric by metric (keyed
+ * on (benchmark, metric), old-snapshot order). Metrics only in the
+ * new snapshot are first appearances — baselines, not deltas — and
+ * are skipped. warnPct/failPct are the SmallRegression/BigRegression
+ * thresholds in percent (the trajectory defaults are 5 and 20).
+ */
+std::vector<BenchDelta>
+diffBenchRecords(const std::vector<BenchRecord> &oldRecords,
+                 const std::vector<BenchRecord> &newRecords,
+                 double warnPct, double failPct);
+
+} // namespace pdnspot
+
+#endif // PDNSPOT_BENCH_TRAJECTORY_HH

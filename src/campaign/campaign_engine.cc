@@ -19,6 +19,21 @@ namespace
 {
 
 /**
+ * Per-run statistics accumulator shared by the worker threads.
+ * Workers bank their memo counter deltas and phase counts here;
+ * relaxed ordering suffices because the runner's join sequences all
+ * worker writes before run() reads the totals.
+ */
+struct RunStatsAccumulator
+{
+    std::atomic<uint64_t> phases{0};
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> builds{0};
+    std::atomic<uint64_t> evals{0};
+};
+
+/**
  * One worker thread's current Platform plus its evaluation memo.
  * Campaign runs are stamped with a process-unique id so a slot left
  * over from an earlier campaign (worker threads outlive runs) is
@@ -26,6 +41,11 @@ namespace
  * retained per worker; it is replaced on the next rebuild and
  * reclaimed at thread exit. The memo shares the slot's lifetime: it
  * is only ever valid for the slot's (platform, run) pair.
+ *
+ * The seen* cursors track how much of the memo's counters has been
+ * banked into the current run's RunStatsAccumulator (deltas flush at
+ * the end of every chunk and before a same-run platform rebuild), so
+ * each counter increment is attributed exactly once.
  */
 struct ThreadPlatformSlot
 {
@@ -33,15 +53,47 @@ struct ThreadPlatformSlot
     size_t configIdx = 0;
     std::unique_ptr<Platform> platform;
     std::unique_ptr<EteeMemo> memo;
+    uint64_t seenProbes = 0;
+    uint64_t seenHits = 0;
+    uint64_t seenBuilds = 0;
+    uint64_t seenEvals = 0;
 };
+
+/** Bank the slot memo's counter growth since the last harvest. */
+void
+harvestMemoStats(ThreadPlatformSlot &slot, RunStatsAccumulator *acc)
+{
+    if (!acc || !slot.memo)
+        return;
+    const EteeMemo &memo = *slot.memo;
+    acc->probes.fetch_add(memo.probes() - slot.seenProbes,
+                          std::memory_order_relaxed);
+    acc->hits.fetch_add(memo.hits() - slot.seenHits,
+                        std::memory_order_relaxed);
+    acc->builds.fetch_add(memo.stateBuilds() - slot.seenBuilds,
+                          std::memory_order_relaxed);
+    acc->evals.fetch_add(memo.pdnEvaluations() - slot.seenEvals,
+                         std::memory_order_relaxed);
+    slot.seenProbes = memo.probes();
+    slot.seenHits = memo.hits();
+    slot.seenBuilds = memo.stateBuilds();
+    slot.seenEvals = memo.pdnEvaluations();
+}
 
 ThreadPlatformSlot &
 threadSlot(uint64_t run_id, const CampaignSpec &spec,
-           size_t config_idx, bool memoize)
+           size_t config_idx, bool memoize, RunStatsAccumulator *acc)
 {
     thread_local ThreadPlatformSlot slot;
     if (!slot.platform || slot.runId != run_id ||
         slot.configIdx != config_idx) {
+        // A same-run platform change retires this memo before the
+        // chunk-end harvest; bank its remaining deltas first. Slots
+        // left over from *other* runs were fully harvested at their
+        // last chunk end (or belong to a run that asked for no
+        // stats) and must not leak into this run's accumulator.
+        if (slot.runId == run_id)
+            harvestMemoStats(slot, acc);
         slot.platform =
             std::make_unique<Platform>(spec.platforms[config_idx]);
         slot.memo =
@@ -51,9 +103,26 @@ threadSlot(uint64_t run_id, const CampaignSpec &spec,
                     : nullptr;
         slot.runId = run_id;
         slot.configIdx = config_idx;
+        slot.seenProbes = slot.seenHits = 0;
+        slot.seenBuilds = slot.seenEvals = 0;
     }
     return slot;
 }
+
+/**
+ * A trace materialized for simulation: the phase-by-phase form (the
+ * PMU path steps it) plus its batch-evaluation SoA form (every other
+ * path). Both derive deterministically from the TraceSpec.
+ */
+struct ResolvedTrace
+{
+    PhaseTrace trace;
+    PhaseSoA soa;
+
+    explicit ResolvedTrace(PhaseTrace t)
+        : trace(std::move(t)), soa(trace)
+    {}
+};
 
 /**
  * One worker thread's lazily-resolved traces for the current run.
@@ -65,10 +134,10 @@ threadSlot(uint64_t run_id, const CampaignSpec &spec,
 struct ThreadTraceCache
 {
     uint64_t runId = 0;
-    std::vector<std::unique_ptr<const PhaseTrace>> traces;
+    std::vector<std::unique_ptr<const ResolvedTrace>> traces;
 };
 
-const PhaseTrace &
+const ResolvedTrace &
 resolvedTrace(uint64_t run_id, const CampaignSpec &spec,
               size_t trace_idx)
 {
@@ -78,15 +147,16 @@ resolvedTrace(uint64_t run_id, const CampaignSpec &spec,
         cache.traces.resize(spec.traces.size());
         cache.runId = run_id;
     }
-    std::unique_ptr<const PhaseTrace> &slot = cache.traces[trace_idx];
+    std::unique_ptr<const ResolvedTrace> &slot =
+        cache.traces[trace_idx];
     if (!slot)
-        slot = std::make_unique<const PhaseTrace>(
+        slot = std::make_unique<const ResolvedTrace>(
             spec.traces[trace_idx].resolve());
     return *slot;
 }
 
 SimResult
-simulateCell(const Platform &platform, const PhaseTrace &trace,
+simulateCell(const Platform &platform, const ResolvedTrace &rt,
              PdnKind kind, const CampaignSpec &spec, Time tick,
              EteeMemo *memo)
 {
@@ -94,17 +164,18 @@ simulateCell(const Platform &platform, const PhaseTrace &trace,
                           platform.config().tdp, tick);
     if (kind == PdnKind::FlexWatts) {
         if (spec.mode == SimMode::Oracle)
-            return sim.runOracle(trace, platform.flexWatts(), memo);
+            return sim.runOracle(rt.soa, platform.flexWatts(), memo);
         if (spec.mode == SimMode::Pmu) {
             PmuConfig cfg;
             cfg.tdp = platform.config().tdp;
             Pmu pmu(cfg, platform.predictor());
-            return sim.run(trace, platform.flexWatts(), pmu, memo);
+            return sim.run(rt.trace, platform.flexWatts(), pmu,
+                           memo);
         }
     }
     // Non-hybrid PDNs have no mode logic: every mode simulates them
-    // statically.
-    return sim.run(trace, platform.pdn(kind), memo);
+    // statically — through the batched SoA path.
+    return sim.run(rt.soa, platform.pdn(kind), memo);
 }
 
 /** Collects streamed cells back into an in-memory CampaignResult. */
@@ -149,15 +220,16 @@ CampaignEngine::run(const CampaignSpec &spec) const
 }
 
 void
-CampaignEngine::run(const CampaignSpec &spec,
-                    CampaignSink &sink) const
+CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
+                    CampaignRunStats *stats) const
 {
-    run(spec, sink, 0, spec.cellCount());
+    run(spec, sink, 0, spec.cellCount(), stats);
 }
 
 void
 CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
-                    size_t firstCell, size_t endCell) const
+                    size_t firstCell, size_t endCell,
+                    CampaignRunStats *stats) const
 {
     spec.validate();
     if (firstCell > endCell || endCell > spec.cellCount())
@@ -171,6 +243,9 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
 
     static std::atomic<uint64_t> runCounter{0};
     uint64_t runId = ++runCounter;
+
+    RunStatsAccumulator acc;
+    RunStatsAccumulator *accPtr = stats ? &acc : nullptr;
 
     // Platform-major flattening keeps each worker's platform axis
     // non-decreasing under monotonic range claims, bounding Platform
@@ -215,6 +290,8 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
             }
             std::vector<CampaignCellResult> shard;
             shard.reserve(end - begin);
+            ThreadPlatformSlot *lastSlot = nullptr;
+            uint64_t chunkPhases = 0;
             try {
                 for (size_t t = begin; t < end; ++t) {
                     size_t cell = firstCell + t;
@@ -224,19 +301,27 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
                     const TraceSpec &traceSpec =
                         spec.traces[traceIdx];
                     ThreadPlatformSlot &slot =
-                        threadSlot(runId, spec, p, _memoize);
+                        threadSlot(runId, spec, p, _memoize, accPtr);
+                    lastSlot = &slot;
+                    const ResolvedTrace &rt =
+                        resolvedTrace(runId, spec, traceIdx);
                     CampaignCellResult c;
                     c.trace = traceSpec.name();
                     c.platform = spec.platforms[p].name;
                     c.pdn = spec.pdns[rest % nPdns];
                     c.mode = spec.mode;
                     c.sim = simulateCell(
-                        *slot.platform,
-                        resolvedTrace(runId, spec, traceIdx), c.pdn,
-                        spec,
+                        *slot.platform, rt, c.pdn, spec,
                         traceSpec.tickOverride().value_or(spec.tick),
                         slot.memo.get());
+                    chunkPhases += rt.soa.phaseCount();
                     shard.push_back(std::move(c));
+                }
+                if (accPtr) {
+                    acc.phases.fetch_add(chunkPhases,
+                                         std::memory_order_relaxed);
+                    if (lastSlot)
+                        harvestMemoStats(*lastSlot, accPtr);
                 }
             } catch (...) {
                 // A stuck cursor must not strand waiting workers.
@@ -276,6 +361,19 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
     if (cursor != n || !pending.empty())
         panic("CampaignEngine: streamed cell count does not cover "
               "the campaign");
+
+    if (stats) {
+        *stats = CampaignRunStats{};
+        stats->cells = n;
+        stats->phases = acc.phases.load(std::memory_order_relaxed);
+        stats->memoProbes =
+            acc.probes.load(std::memory_order_relaxed);
+        stats->memoHits = acc.hits.load(std::memory_order_relaxed);
+        stats->stateBuilds =
+            acc.builds.load(std::memory_order_relaxed);
+        stats->pdnEvaluations =
+            acc.evals.load(std::memory_order_relaxed);
+    }
 }
 
 } // namespace pdnspot

@@ -11,7 +11,11 @@
  * platform axis in non-decreasing order, so it rebuilds at most once
  * per platform config per campaign. Trace specs resolve lazily too:
  * each worker materializes a TraceSpec the first time one of its
- * cells needs it and caches the PhaseTrace for the rest of the run.
+ * cells needs it and caches the PhaseTrace — together with its
+ * batch-evaluation PhaseSoA form (workload/phase_soa.hh) — for the
+ * rest of the run. Non-PMU cells simulate through the batched
+ * IntervalSimulator overloads: unique states resolve once, then
+ * energy accumulates over dense per-phase arrays.
  *
  * Determinism contract: every cell's SimResult depends only on its
  * (trace spec, platform config, pdn, mode, tick) inputs and lands at
@@ -29,6 +33,37 @@
 
 namespace pdnspot
 {
+
+/**
+ * Aggregate execution statistics of one CampaignEngine run, summed
+ * across worker threads: the denominator metrics of the benchmark
+ * trajectory (cells and phases simulated) and the EteeMemo counters
+ * that make memo effectiveness a tracked metric rather than
+ * folklore. Purely observational — filling them never perturbs
+ * results. Memo counters stay zero when memoization is off.
+ */
+struct CampaignRunStats
+{
+    size_t cells = 0;     ///< cells simulated by this run
+    uint64_t phases = 0;  ///< trace phases stepped, over all cells
+
+    uint64_t memoProbes = 0; ///< memo lookups (hits + misses)
+    uint64_t memoHits = 0;
+    uint64_t stateBuilds = 0;     ///< operating-point builds (misses)
+    uint64_t pdnEvaluations = 0;  ///< PDN evaluations (misses)
+
+    uint64_t memoMisses() const { return memoProbes - memoHits; }
+
+    /** Fraction of lookups served from the memo; 0 with no probes. */
+    double
+    memoHitRate() const
+    {
+        if (memoProbes == 0)
+            return 0.0;
+        return static_cast<double>(memoHits) /
+               static_cast<double>(memoProbes);
+    }
+};
 
 /** Runs campaigns; stateless apart from the pool binding + knobs. */
 class CampaignEngine
@@ -59,8 +94,12 @@ class CampaignEngine
      * workers that run far ahead of the cursor wait for it, so the
      * reorder buffer is bounded by a small multiple of the thread
      * count — never the campaign size.
+     *
+     * When `stats` is non-null it is overwritten with this run's
+     * aggregate execution statistics.
      */
-    void run(const CampaignSpec &spec, CampaignSink &sink) const;
+    void run(const CampaignSpec &spec, CampaignSink &sink,
+             CampaignRunStats *stats = nullptr) const;
 
     /**
      * Stream one contiguous range [firstCell, endCell) of the
@@ -71,7 +110,8 @@ class CampaignEngine
      * fatal() unless firstCell <= endCell <= cellCount().
      */
     void run(const CampaignSpec &spec, CampaignSink &sink,
-             size_t firstCell, size_t endCell) const;
+             size_t firstCell, size_t endCell,
+             CampaignRunStats *stats = nullptr) const;
 
     /**
      * Enable/disable the per-worker (platform, phase, PDN)

@@ -197,13 +197,18 @@ OperatingPointModel::build(const Query &q) const
         fatal(strprintf("OperatingPointModel: TDP %.1fW outside the "
                         "supported 4-50W range", inWatts(q.tdp)));
     }
-    if (q.ar <= 0.0 || q.ar > 1.0)
-        fatal("OperatingPointModel: AR must be in (0, 1]");
     if (q.freqMultiplier <= 0.0)
         fatal("OperatingPointModel: frequency multiplier must be > 0");
 
-    if (q.cstate == PackageCState::C0)
+    if (q.cstate == PackageCState::C0) {
+        // Only active states consume the workload AR; gated states
+        // pin their own (cstateAr), so an idle phase may carry any
+        // AR a trace importer put in its column — including an
+        // exact 0.
+        if (q.ar <= 0.0 || q.ar > 1.0)
+            fatal("OperatingPointModel: AR must be in (0, 1]");
         return buildActive(q);
+    }
     return buildCState(q);
 }
 

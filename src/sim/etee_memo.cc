@@ -1,5 +1,7 @@
 #include "sim/etee_memo.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace pdnspot
@@ -13,7 +15,9 @@ EteeMemo::StateKey
 EteeMemo::keyFor(const TracePhase &phase)
 {
     return {static_cast<int>(phase.cstate),
-            static_cast<int>(phase.type), phase.ar};
+            static_cast<int>(phase.type),
+            std::bit_cast<uint64_t>(
+                canonicalActivityRatio(phase.ar))};
 }
 
 void
@@ -33,6 +37,7 @@ EteeMemo::checkInstance(const PdnModel &pdn)
 const PlatformState &
 EteeMemo::state(const TracePhase &phase)
 {
+    ++_probes;
     StateKey key = keyFor(phase);
     auto it = _states.find(key);
     if (it != _states.end()) {
@@ -43,7 +48,10 @@ EteeMemo::state(const TracePhase &phase)
     q.tdp = _tdp;
     q.cstate = phase.cstate;
     q.type = phase.type;
-    q.ar = phase.ar;
+    // Build from the canonical AR so the cached state never depends
+    // on which -0.0/+0.0 variant arrived first (the key has already
+    // collapsed them into one entry).
+    q.ar = canonicalActivityRatio(phase.ar);
     ++_stateBuilds;
     return _states.emplace(key, _opm.build(q)).first->second;
 }
@@ -53,6 +61,7 @@ EteeMemo::evaluateSlot(const PdnModel &pdn, const TracePhase &phase,
                        size_t mode_slot)
 {
     checkInstance(pdn);
+    ++_probes;
     EvalKey key{static_cast<int>(pdn.kind()),
                 static_cast<int>(mode_slot), keyFor(phase)};
     auto it = _evals.find(key);
@@ -89,6 +98,7 @@ HybridMode
 EteeMemo::bestMode(const FlexWattsPdn &pdn, const TracePhase &phase)
 {
     checkInstance(pdn);
+    ++_probes;
     StateKey key = keyFor(phase);
     auto it = _bestModes.find(key);
     if (it != _bestModes.end()) {

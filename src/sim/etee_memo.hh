@@ -27,6 +27,7 @@
 #define PDNSPOT_SIM_ETEE_MEMO_HH
 
 #include <array>
+#include <cstdint>
 #include <map>
 
 #include "flexwatts/flexwatts_pdn.hh"
@@ -62,20 +63,36 @@ class EteeMemo
     const OperatingPointModel &opm() const { return _opm; }
     Power tdp() const { return _tdp; }
 
-    /** Underlying computations performed (i.e. misses). */
+    /** Underlying computations performed on misses. */
     size_t stateBuilds() const { return _stateBuilds; }
     size_t pdnEvaluations() const { return _pdnEvaluations; }
 
-    /** Lookups answered from the memo. */
+    /**
+     * Lookup counters: every state()/evaluate()/bestMode() call is
+     * one probe (including the nested state lookup an evaluation
+     * miss performs), answered either from the memo (a hit) or by
+     * computing (a miss). probes() == hits() + misses() always; the
+     * campaign engine aggregates these per run so memo effectiveness
+     * is a tracked metric (CampaignRunStats, bench trajectory).
+     */
+    size_t probes() const { return _probes; }
     size_t hits() const { return _hits; }
+    size_t misses() const { return _probes - _hits; }
 
   private:
-    /** The phase fields PlatformState construction depends on. */
+    /**
+     * The phase fields PlatformState construction depends on. The AR
+     * is stored as the bit pattern of its canonical form
+     * (canonicalActivityRatio): -0.0 and +0.0 share one entry built
+     * from +0.0 regardless of arrival order, and NaN keys still get
+     * a total order (raw double comparison would break strict weak
+     * ordering and with it the map).
+     */
     struct StateKey
     {
         int cstate;
         int type;
-        double ar;
+        uint64_t arBits;
 
         auto operator<=>(const StateKey &) const = default;
     };
@@ -111,6 +128,7 @@ class EteeMemo
 
     size_t _stateBuilds = 0;
     size_t _pdnEvaluations = 0;
+    size_t _probes = 0;
     size_t _hits = 0;
 };
 

@@ -23,7 +23,10 @@ IntervalSimulator::stateFor(const TracePhase &phase) const
     q.tdp = _tdp;
     q.cstate = phase.cstate;
     q.type = phase.type;
-    q.ar = phase.ar;
+    // Canonical AR keeps unmemoized runs bit-identical to memoized
+    // ones (EteeMemo builds from the canonical form) for -0.0/NaN
+    // inputs.
+    q.ar = canonicalActivityRatio(phase.ar);
     return _opm.build(q);
 }
 
@@ -52,6 +55,36 @@ IntervalSimulator::run(const PhaseTrace &trace, const PdnModel &pdn,
 }
 
 SimResult
+IntervalSimulator::run(const PhaseSoA &soa, const PdnModel &pdn,
+                       EteeMemo *memo) const
+{
+    checkMemo(memo);
+
+    // One pass of operating-point + ETEE math over the unique
+    // states (first-appearance order — exactly the order the
+    // phase-by-phase loop would first evaluate them in, so a shared
+    // memo ends up with identical contents).
+    const std::vector<TracePhase> &unique = soa.uniquePhases();
+    std::vector<EteeResult> etee(unique.size());
+    for (size_t u = 0; u < unique.size(); ++u)
+        etee[u] = memo ? memo->evaluate(pdn, unique[u])
+                       : pdn.evaluate(stateFor(unique[u]));
+
+    // Dense accumulation over the per-phase arrays: the same
+    // additions in the same order as the phase-by-phase loop.
+    SimResult result;
+    const std::vector<Time> &durations = soa.durations();
+    const std::vector<uint32_t> &index = soa.uniqueIndex();
+    for (size_t p = 0; p < durations.size(); ++p) {
+        const EteeResult &e = etee[index[p]];
+        result.duration += durations[p];
+        result.supplyEnergy += e.inputPower * durations[p];
+        result.nominalEnergy += e.nominalPower * durations[p];
+    }
+    return result;
+}
+
+SimResult
 IntervalSimulator::runOracle(const PhaseTrace &trace,
                              const FlexWattsPdn &pdn,
                              EteeMemo *memo) const
@@ -74,6 +107,41 @@ IntervalSimulator::runOracle(const PhaseTrace &trace,
         result.nominalEnergy += e.nominalPower * phase.duration;
         result.modeResidency[static_cast<size_t>(mode)] +=
             phase.duration;
+    }
+    return result;
+}
+
+SimResult
+IntervalSimulator::runOracle(const PhaseSoA &soa,
+                             const FlexWattsPdn &pdn,
+                             EteeMemo *memo) const
+{
+    checkMemo(memo);
+
+    const std::vector<TracePhase> &unique = soa.uniquePhases();
+    std::vector<HybridMode> modes(unique.size());
+    std::vector<EteeResult> etee(unique.size());
+    for (size_t u = 0; u < unique.size(); ++u) {
+        if (memo) {
+            modes[u] = memo->bestMode(pdn, unique[u]);
+            etee[u] = memo->evaluate(pdn, unique[u], modes[u]);
+        } else {
+            PlatformState s = stateFor(unique[u]);
+            modes[u] = pdn.bestMode(s);
+            etee[u] = pdn.evaluate(s, modes[u]);
+        }
+    }
+
+    SimResult result;
+    const std::vector<Time> &durations = soa.durations();
+    const std::vector<uint32_t> &index = soa.uniqueIndex();
+    for (size_t p = 0; p < durations.size(); ++p) {
+        const EteeResult &e = etee[index[p]];
+        result.duration += durations[p];
+        result.supplyEnergy += e.inputPower * durations[p];
+        result.nominalEnergy += e.nominalPower * durations[p];
+        result.modeResidency[static_cast<size_t>(modes[index[p]])] +=
+            durations[p];
     }
     return result;
 }

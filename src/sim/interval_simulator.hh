@@ -21,6 +21,7 @@
 #include "power/operating_point.hh"
 #include "sim/etee_memo.hh"
 #include "sim/sim_stats.hh"
+#include "workload/phase_soa.hh"
 #include "workload/trace.hh"
 
 namespace pdnspot
@@ -52,6 +53,21 @@ class IntervalSimulator
                   EteeMemo *memo = nullptr) const;
 
     /**
+     * Batched counterpart of the static run: each of the SoA's
+     * unique states is resolved exactly once (one tight pass of
+     * operating-point + ETEE math), then supply/nominal energy is
+     * accumulated over the dense per-phase arrays. Bit-identical to
+     * run() over the trace the SoA was built from — the same
+     * floating-point operations execute in the same order — while
+     * replacing the per-phase map lookups of the memoized path (and
+     * the per-duplicate state rebuilds of the unmemoized path) with
+     * array indexing. The campaign engine uses this for every
+     * non-PMU cell.
+     */
+    SimResult run(const PhaseSoA &soa, const PdnModel &pdn,
+                  EteeMemo *memo = nullptr) const;
+
+    /**
      * Simulate FlexWatts under PMU control: the predictor sees the
      * workload only through the sensors, pays the 94 us C6 flow per
      * switch, and may lag or mispredict -- this is the realistic
@@ -67,6 +83,15 @@ class IntervalSimulator
      */
     SimResult runOracle(const PhaseTrace &trace,
                         const FlexWattsPdn &pdn,
+                        EteeMemo *memo = nullptr) const;
+
+    /**
+     * Batched oracle run: best mode and pinned-mode evaluation are
+     * resolved once per unique state, then accumulated over the
+     * per-phase arrays. Bit-identical to runOracle() over the source
+     * trace (see the static batched overload).
+     */
+    SimResult runOracle(const PhaseSoA &soa, const FlexWattsPdn &pdn,
                         EteeMemo *memo = nullptr) const;
 
   private:

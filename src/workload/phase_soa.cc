@@ -1,0 +1,40 @@
+#include "workload/phase_soa.hh"
+
+#include <bit>
+#include <map>
+#include <tuple>
+
+namespace pdnspot
+{
+
+PhaseSoA::PhaseSoA(const PhaseTrace &trace)
+{
+    const std::vector<TracePhase> &phases = trace.phases();
+    _durations.reserve(phases.size());
+    _uniqueIndex.reserve(phases.size());
+
+    // Key on the canonical AR bit pattern: bit-level keying gives a
+    // total order even for NaN inputs (double comparison would
+    // violate strict weak ordering there), and canonicalization has
+    // already collapsed -0.0/+0.0 and NaN payload variants.
+    using Key = std::tuple<int, int, uint64_t>;
+    std::map<Key, uint32_t> index;
+
+    for (const TracePhase &phase : phases) {
+        double ar = canonicalActivityRatio(phase.ar);
+        Key key{static_cast<int>(phase.cstate),
+                static_cast<int>(phase.type),
+                std::bit_cast<uint64_t>(ar)};
+        auto [it, inserted] = index.emplace(
+            key, static_cast<uint32_t>(_uniquePhases.size()));
+        if (inserted) {
+            TracePhase rep = phase;
+            rep.ar = ar;
+            _uniquePhases.push_back(rep);
+        }
+        _durations.push_back(phase.duration);
+        _uniqueIndex.push_back(it->second);
+    }
+}
+
+} // namespace pdnspot

@@ -12,6 +12,8 @@
 #ifndef PDNSPOT_WORKLOAD_TRACE_HH
 #define PDNSPOT_WORKLOAD_TRACE_HH
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,26 @@ struct TracePhase
 
     bool operator==(const TracePhase &) const = default;
 };
+
+/**
+ * Canonical form of an activity-ratio value for state construction
+ * and keying: collapses -0.0 into +0.0 and every NaN payload into
+ * the canonical quiet NaN, so inputs that behave identically share
+ * one bit pattern. Deterministic memoization (EteeMemo, PhaseSoA)
+ * keys on the canonical bits — without this, a -0.0 phase racing a
+ * +0.0 phase could make memo contents depend on which worker
+ * evaluated first and silently diverge between serial and threaded
+ * runs.
+ */
+inline double
+canonicalActivityRatio(double ar)
+{
+    if (std::isnan(ar))
+        return std::numeric_limits<double>::quiet_NaN();
+    // `ar == 0.0` holds for both signed zeros; return the positive
+    // one so the sign bit never reaches a key or a model query.
+    return ar == 0.0 ? 0.0 : ar;
+}
 
 /**
  * Validity check shared by every import boundary (PhaseTrace

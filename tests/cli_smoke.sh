@@ -63,6 +63,35 @@ case "$case_name" in
     run 2 "$spec_dir/paper_campaign.json" --threads 0
     expect_err "--threads must be a positive integer"
     ;;
+  usage_bad_battery_wh)
+    # Locale-proof parse: "3,5" is 3.5 under a comma-decimal locale
+    # and std::stod would have accepted the "3" prefix of it; the
+    # std::from_chars parse must reject it whole, along with
+    # non-positive and non-finite capacities.
+    run 2 "$spec_dir/paper_campaign.json" --battery-wh 3,5
+    expect_err "--battery-wh must be a positive number"
+    run 2 "$spec_dir/paper_campaign.json" --battery-wh -5
+    expect_err "--battery-wh must be a positive number"
+    run 2 "$spec_dir/paper_campaign.json" --battery-wh 0
+    expect_err "--battery-wh must be a positive number"
+    run 2 "$spec_dir/paper_campaign.json" --battery-wh nan
+    expect_err "--battery-wh must be a positive number"
+    run 2 "$spec_dir/paper_campaign.json" --battery-wh inf
+    expect_err "--battery-wh must be a positive number"
+    run 2 "$spec_dir/paper_campaign.json" --battery-wh 50J
+    expect_err "--battery-wh must be a positive number"
+    ;;
+  summary_memo_stats)
+    # --summary reports the memo counters harvested from the run;
+    # --no-memo switches the line rather than printing zeros.
+    run 0 "$spec_dir/paper_campaign.json" --summary -o "$tmp/c.csv"
+    expect_err "memo: "
+    expect_err " probes, "
+    expect_err "hit rate"
+    run 0 "$spec_dir/paper_campaign.json" --summary --no-memo \
+        -o "$tmp/c.csv"
+    expect_err "memo: disabled (--no-memo)"
+    ;;
   usage_unknown_option)
     run 2 "$spec_dir/paper_campaign.json" --frobnicate
     expect_err 'unknown option "--frobnicate"'

@@ -543,6 +543,73 @@ TEST(EteeMemoTest, RejectsMismatchedSimulator)
                  ModelError);
 }
 
+TEST(CampaignEngineTest, RunStatsAreConsistentAndThreadInvariant)
+{
+    /** Counts what reaches the sink; the cells go to the floor. */
+    class CountingSink : public CampaignSink
+    {
+      public:
+        void consume(CampaignCellResult) override { ++delivered; }
+        size_t delivered = 0;
+    };
+
+    CampaignSpec spec = smallSpec(SimMode::Oracle);
+    size_t phaseTotal = 0;
+    for (const TraceSpec &t : spec.traces)
+        phaseTotal += t.resolve().phases().size();
+    phaseTotal *= spec.platforms.size() * spec.pdns.size();
+
+    CampaignRunStats serial;
+    {
+        ParallelRunner runner(1);
+        CountingSink sink;
+        CampaignEngine(runner).run(spec, sink, &serial);
+        EXPECT_EQ(sink.delivered, spec.cellCount());
+    }
+    EXPECT_EQ(serial.cells, spec.cellCount());
+    EXPECT_EQ(serial.phases, phaseTotal);
+    EXPECT_GT(serial.memoProbes, 0u);
+    EXPECT_GT(serial.memoHits, 0u);
+    EXPECT_EQ(serial.memoProbes,
+              serial.memoHits + serial.memoMisses());
+    EXPECT_GT(serial.stateBuilds, 0u);
+    EXPECT_GT(serial.pdnEvaluations, 0u);
+    EXPECT_GT(serial.memoHitRate(), 0.0);
+    EXPECT_LT(serial.memoHitRate(), 1.0);
+
+    // Threaded runs keep one memo per worker, so hit totals may
+    // differ from serial (each worker pays its own first
+    // encounters) — but the work counters and the structural
+    // invariants must hold at any thread count, and a worker can
+    // never build fewer states than the single serial memo did.
+    for (unsigned threads : {2u, 8u}) {
+        ParallelRunner runner(threads);
+        CountingSink sink;
+        CampaignRunStats stats;
+        CampaignEngine(runner).run(spec, sink, &stats);
+        EXPECT_EQ(stats.cells, serial.cells) << threads;
+        EXPECT_EQ(stats.phases, serial.phases) << threads;
+        EXPECT_EQ(stats.memoProbes,
+                  stats.memoHits + stats.memoMisses())
+            << threads;
+        EXPECT_GE(stats.stateBuilds, serial.stateBuilds) << threads;
+        EXPECT_GE(stats.pdnEvaluations, serial.pdnEvaluations)
+            << threads;
+    }
+
+    // Memo off: the run happens, the memo counters stay zero.
+    ParallelRunner runner(1);
+    CountingSink sink;
+    CampaignRunStats unmemoized;
+    CampaignEngine(runner).memoize(false).run(spec, sink,
+                                              &unmemoized);
+    EXPECT_EQ(unmemoized.cells, spec.cellCount());
+    EXPECT_EQ(unmemoized.phases, phaseTotal);
+    EXPECT_EQ(unmemoized.memoProbes, 0u);
+    EXPECT_EQ(unmemoized.memoHits, 0u);
+    EXPECT_EQ(unmemoized.memoHitRate(), 0.0);
+}
+
 TEST(CampaignResultTest, SummaryAggregatesMatchManualTotals)
 {
     CampaignSpec spec = smallSpec(SimMode::Pmu);

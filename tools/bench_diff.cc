@@ -1,0 +1,193 @@
+/**
+ * @file
+ * bench_diff: compare (or merge) benchmark-trajectory snapshots.
+ *
+ * The comparator half of the bench-trajectory subsystem
+ * (src/bench/trajectory.hh): scripts/bench.sh merges the per-binary
+ * `bench_* --json` documents into a BENCH_<n>.json snapshot at the
+ * repo root, then diffs it against the previous snapshot through
+ * this tool — so a perf regression fails scripts/check.sh (and CI)
+ * exactly like a test failure.
+ *
+ * Usage: bench_diff <old.json> <new.json> [--warn <pct>] [--fail <pct>]
+ *        bench_diff --merge <out.json> <in.json>...
+ *
+ * Diff mode prints one row per metric of the old snapshot with its
+ * verdict, then exits 0 unless any metric regressed by more than the
+ * fail threshold (default thresholds: warn 5%, fail 20%). Regression
+ * direction follows the metric's unit — rates and ratios regress
+ * downward, times upward. Metrics present only in the new snapshot
+ * are baselines and are ignored; metrics missing from the new
+ * snapshot are reported but do not fail the diff.
+ *
+ * Merge mode concatenates the records of the input documents into
+ * one schema document.
+ */
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/trajectory.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace pdnspot;
+
+constexpr const char *usageText =
+    "usage: bench_diff <old.json> <new.json> [--warn <pct>] "
+    "[--fail <pct>]\n"
+    "       bench_diff --merge <out.json> <in.json>...\n";
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::cerr << "bench_diff: " << message << "\n" << usageText;
+    std::exit(2);
+}
+
+/** Locale-independent strict double parse (src/common/csv.cc:31). */
+double
+parsePct(const std::string &value, const char *flag)
+{
+    double pct = 0.0;
+    const char *begin = value.data();
+    const char *end = begin + value.size();
+    auto [ptr, ec] = std::from_chars(begin, end, pct);
+    if (ec != std::errc() || ptr != end || !(pct >= 0.0))
+        usageError(std::string(flag) +
+                   " must be a non-negative number, got \"" + value +
+                   "\"");
+    return pct;
+}
+
+int
+runMerge(const std::vector<std::string> &paths)
+{
+    if (paths.size() < 2)
+        usageError("--merge needs an output and at least one input");
+    std::vector<BenchRecord> merged;
+    for (size_t i = 1; i < paths.size(); ++i) {
+        std::vector<BenchRecord> records =
+            readBenchJsonFile(paths[i]);
+        merged.insert(merged.end(), records.begin(), records.end());
+    }
+    std::ofstream os(paths[0], std::ios::binary);
+    os << writeBenchJson(merged);
+    if (!os.flush())
+        fatal(strprintf("cannot write \"%s\"", paths[0].c_str()));
+    std::cerr << "bench_diff: merged " << merged.size()
+              << " records into " << paths[0] << "\n";
+    return 0;
+}
+
+int
+runDiff(const std::string &oldPath, const std::string &newPath,
+        double warnPct, double failPct)
+{
+    std::vector<BenchDelta> deltas = diffBenchRecords(
+        readBenchJsonFile(oldPath), readBenchJsonFile(newPath),
+        warnPct, failPct);
+
+    AsciiTable table({"benchmark", "metric", "unit", "old", "new",
+                      "change", "verdict"});
+    size_t regressions = 0, missing = 0, improved = 0;
+    for (const BenchDelta &d : deltas) {
+        bool isMissing = d.verdict == BenchVerdict::Missing;
+        table.addRow(
+            {d.benchmark, d.metric, d.unit,
+             AsciiTable::num(d.oldValue, 3),
+             isMissing ? "-" : AsciiTable::num(d.newValue, 3),
+             isMissing || d.oldValue == 0.0
+                 ? "-"
+                 : strprintf("%+.1f%%", (d.newValue - d.oldValue) /
+                                            d.oldValue * 100.0),
+             toString(d.verdict)});
+        switch (d.verdict) {
+          case BenchVerdict::BigRegression:
+            ++regressions;
+            break;
+          case BenchVerdict::SmallRegression:
+            warn(strprintf("bench_diff: %s %s regressed %.1f%% "
+                           "(warn threshold %.1f%%)",
+                           d.benchmark.c_str(), d.metric.c_str(),
+                           d.regressionPct, warnPct));
+            break;
+          case BenchVerdict::Missing:
+            ++missing;
+            break;
+          case BenchVerdict::Improved:
+            ++improved;
+            break;
+          case BenchVerdict::Flat:
+            break;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nbench_diff: " << oldPath << " -> " << newPath
+              << ": " << deltas.size() << " metrics, " << improved
+              << " improved, " << regressions
+              << " over the fail threshold (" << failPct << "%), "
+              << missing << " missing\n";
+
+    if (regressions > 0) {
+        std::cerr << "bench_diff: FAIL: " << regressions
+                  << " metric(s) regressed more than " << failPct
+                  << "%\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool merge = false;
+    double warnPct = 5.0, failPct = 20.0;
+    std::vector<std::string> paths;
+
+    auto value = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(flag) + " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            std::cout << usageText;
+            return 0;
+        } else if (arg == "--merge") {
+            merge = true;
+        } else if (arg == "--warn") {
+            warnPct = parsePct(value(i, "--warn"), "--warn");
+        } else if (arg == "--fail") {
+            failPct = parsePct(value(i, "--fail"), "--fail");
+        } else if (!arg.empty() && arg[0] == '-') {
+            usageError("unknown option \"" + arg + "\"");
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    try {
+        if (merge)
+            return runMerge(paths);
+        if (paths.size() != 2)
+            usageError("expected exactly two snapshot files");
+        return runDiff(paths[0], paths[1], warnPct, failPct);
+    } catch (const ConfigError &e) {
+        std::cerr << "bench_diff: " << e.what() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "bench_diff: internal error: " << e.what()
+                  << "\n";
+        return 3;
+    }
+}

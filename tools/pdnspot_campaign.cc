@@ -13,7 +13,8 @@
  * Usage: pdnspot_campaign <spec.json> [options]
  *   -o <path>        write the campaign CSV to <path> ("-" = stdout,
  *                    the default)
- *   --summary        print the per-PDN summary table to stderr
+ *   --summary        print the per-PDN summary table and the memo
+ *                    probe/hit/miss counters to stderr
  *   --battery-wh <x> battery capacity for the summary (default 50)
  *   --threads <n>    thread count (overrides PDNSPOT_THREADS)
  *   --no-memo        disable the per-worker evaluation memo
@@ -34,6 +35,8 @@
  *   --seed <n>       library seed for --list-traces (default 42)
  */
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -84,6 +87,38 @@ usageError(const std::string &message)
     std::exit(2);
 }
 
+/**
+ * Locale-independent strict number parses (the src/common/csv.cc:31
+ * policy). std::stod honors the global C locale, so under a
+ * comma-decimal locale "3.5" stops at the dot and "3,5" parses as
+ * 3.5 — the same command line means different campaigns on different
+ * machines. std::from_chars always uses the C grammar; requiring the
+ * full string also rejects trailing junk that std::stod's pos check
+ * was emulating.
+ */
+std::optional<double>
+parseDouble(const std::string &v)
+{
+    double out = 0.0;
+    const char *end = v.data() + v.size();
+    auto [ptr, ec] = std::from_chars(v.data(), end, out);
+    if (ec != std::errc() || ptr != end)
+        return std::nullopt;
+    return out;
+}
+
+template <typename Int>
+std::optional<Int>
+parseInt(const std::string &v)
+{
+    Int out = 0;
+    const char *end = v.data() + v.size();
+    auto [ptr, ec] = std::from_chars(v.data(), end, out);
+    if (ec != std::errc() || ptr != end)
+        return std::nullopt;
+    return out;
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
@@ -104,28 +139,18 @@ parseArgs(int argc, char **argv)
             opts.summary = true;
         } else if (arg == "--battery-wh") {
             std::string v = value(i, "--battery-wh");
-            size_t used = 0;
-            double wh = 0.0;
-            try {
-                wh = std::stod(v, &used);
-            } catch (const std::exception &) {
-                used = 0;
-            }
-            if (used != v.size() || !(wh > 0.0))
+            std::optional<double> wh = parseDouble(v);
+            // from_chars accepts "nan"/"inf"; neither is a battery.
+            if (!wh || !std::isfinite(*wh) || !(*wh > 0.0))
                 usageError("--battery-wh must be a positive number, "
                            "got \"" +
                            v + "\"");
-            opts.batteryWh = wh;
+            opts.batteryWh = *wh;
         } else if (arg == "--threads") {
             std::string v = value(i, "--threads");
-            size_t used = 0;
-            long n = 0;
-            try {
-                n = std::stol(v, &used);
-            } catch (const std::exception &) {
-                used = 0;
-            }
-            if (used != v.size() || n < 1)
+            std::optional<long> parsed = parseInt<long>(v);
+            long n = parsed.value_or(0);
+            if (!parsed || n < 1)
                 usageError("--threads must be a positive integer, "
                            "got \"" +
                            v + "\"");
@@ -146,43 +171,28 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--shard") {
             std::string v = value(i, "--shard");
             size_t slash = v.find('/');
-            // All-digit components only: std::stoul would accept
-            // "-4" by wrapping it around to a huge shard count.
-            bool digits =
-                slash != std::string::npos && slash > 0 &&
-                slash + 1 < v.size() &&
-                v.find_first_not_of("0123456789") == slash &&
-                v.find_first_not_of("0123456789", slash + 1) ==
-                    std::string::npos;
-            size_t k = 0, n = 0;
-            if (digits) {
-                try {
-                    k = std::stoul(v.substr(0, slash));
-                    n = std::stoul(v.substr(slash + 1));
-                } catch (const std::exception &) {
-                    digits = false;
-                }
+            std::optional<size_t> k, n;
+            if (slash != std::string::npos) {
+                // from_chars on an unsigned type rejects "-4"
+                // outright (std::stoul would wrap it around to a
+                // huge shard count).
+                k = parseInt<size_t>(v.substr(0, slash));
+                n = parseInt<size_t>(v.substr(slash + 1));
             }
-            if (!digits || k < 1 || n < 1 || k > n)
+            if (!k || !n || *k < 1 || *n < 1 || *k > *n)
                 usageError("--shard must be k/n with 1 <= k <= n, "
                            "got \"" +
                            v + "\"");
-            opts.shardIndex = k;
-            opts.shardCount = n;
+            opts.shardIndex = *k;
+            opts.shardCount = *n;
         } else if (arg == "--seed") {
             std::string v = value(i, "--seed");
-            size_t used = 0;
-            long seed = 0;
-            try {
-                seed = std::stol(v, &used);
-            } catch (const std::exception &) {
-                used = 0;
-            }
-            if (used != v.size() || seed < 0)
+            std::optional<uint64_t> seed = parseInt<uint64_t>(v);
+            if (!seed)
                 usageError("--seed must be a non-negative integer, "
                            "got \"" +
                            v + "\"");
-            opts.listSeed = static_cast<uint64_t>(seed);
+            opts.listSeed = *seed;
         } else if (arg == "--list-traces") {
             opts.listTraces = true;
         } else if (arg == "--list-presets") {
@@ -355,7 +365,8 @@ runCli(const Options &opts)
     std::ostream &out = opts.outPath != "-" ? file : std::cout;
 
     CliSink sink(out, opts.summary, opts.shardIndex == 1);
-    engine.run(spec, sink, firstCell, endCell);
+    CampaignRunStats stats;
+    engine.run(spec, sink, firstCell, endCell, &stats);
 
     if (opts.outPath != "-") {
         file.close();
@@ -365,8 +376,20 @@ runCli(const Options &opts)
         std::cerr << "pdnspot_campaign: wrote " << sink.rows()
                   << " rows to " << opts.outPath << "\n";
     }
-    if (opts.summary)
+    if (opts.summary) {
         printSummary(sink.builder(), opts.batteryWh);
+        if (opts.memo)
+            std::cerr << strprintf(
+                "memo: %llu probes, %llu hits, %llu misses "
+                "(%.1f%% hit rate) over %llu phases\n",
+                static_cast<unsigned long long>(stats.memoProbes),
+                static_cast<unsigned long long>(stats.memoHits),
+                static_cast<unsigned long long>(stats.memoMisses()),
+                stats.memoHitRate() * 100.0,
+                static_cast<unsigned long long>(stats.phases));
+        else
+            std::cerr << "memo: disabled (--no-memo)\n";
+    }
     return 0;
 }
 
