@@ -79,10 +79,35 @@ PDNSPOT_THREADS=1 "$build_dir"/tools/pdnspot_campaign \
 PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
     examples/specs/sensitivity_campaign.json -o "$smoke_dir/sens8.csv"
 cmp "$smoke_dir/sens1.csv" "$smoke_dir/sens8.csv"
+# Capture, then grep: grep -q on a live pipe closes it at the first
+# match and SIGPIPEs the tool mid-provenance (pipefail turns that
+# into exit 141).
 "$build_dir"/tools/pdnspot_campaign \
-    examples/specs/sensitivity_campaign.json --dry-run 2>&1 \
-    | grep -q "ar-perturb(0.1, seed 7)"
+    examples/specs/sensitivity_campaign.json --dry-run \
+    >"$smoke_dir/dryrun.txt" 2>&1
+grep -q "ar-perturb(0.1, seed 7)" "$smoke_dir/dryrun.txt"
 echo "check.sh: trace-transform sensitivity smoke green"
+
+# Observability smoke: the exporters must not perturb the campaign
+# — CSVs stay byte-identical with --report/--trace-events/--progress
+# at 1 and 8 threads — and the paper campaign's report + span trace
+# land in the build dir for CI to upload next to BENCH_*.json.
+PDNSPOT_THREADS=1 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/paper_campaign.json -o "$smoke_dir/obs1.csv" \
+    --report "$smoke_dir/obs1_report.json" \
+    --trace-events "$smoke_dir/obs1_trace.json" --progress
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/paper_campaign.json -o "$smoke_dir/obs8.csv" \
+    --report "$build_dir/paper_report.json" \
+    --trace-events "$build_dir/paper_trace.json" --progress
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/obs1.csv"
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/obs8.csv"
+grep -q '"schema": "pdnspot-report-1"' "$build_dir/paper_report.json"
+begins=$(grep -c '"ph": "B"' "$build_dir/paper_trace.json")
+ends=$(grep -c '"ph": "E"' "$build_dir/paper_trace.json")
+test "$begins" -gt 0 && test "$begins" -eq "$ends"
+echo "check.sh: observability smoke green" \
+    "($begins spans, report + trace in $build_dir)"
 
 # Benchmark trajectory: run the campaign/sweep benches in --json
 # mode, merge the next BENCH_<n>.json snapshot at the repo root, and

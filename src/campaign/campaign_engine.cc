@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/span_trace.hh"
 #include "pmu/pmu.hh"
 #include "sim/etee_memo.hh"
 #include "sim/interval_simulator.hh"
@@ -19,21 +23,6 @@ namespace
 {
 
 /**
- * Per-run statistics accumulator shared by the worker threads.
- * Workers bank their memo counter deltas and phase counts here;
- * relaxed ordering suffices because the runner's join sequences all
- * worker writes before run() reads the totals.
- */
-struct RunStatsAccumulator
-{
-    std::atomic<uint64_t> phases{0};
-    std::atomic<uint64_t> probes{0};
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> builds{0};
-    std::atomic<uint64_t> evals{0};
-};
-
-/**
  * One worker thread's current Platform plus its evaluation memo.
  * Campaign runs are stamped with a process-unique id so a slot left
  * over from an earlier campaign (worker threads outlive runs) is
@@ -43,9 +32,9 @@ struct RunStatsAccumulator
  * is only ever valid for the slot's (platform, run) pair.
  *
  * The seen* cursors track how much of the memo's counters has been
- * banked into the current run's RunStatsAccumulator (deltas flush at
- * the end of every chunk and before a same-run platform rebuild), so
- * each counter increment is attributed exactly once.
+ * banked into the metrics registry (deltas flush at the end of every
+ * chunk and before a same-run platform rebuild), so each counter
+ * increment is attributed exactly once.
  */
 struct ThreadPlatformSlot
 {
@@ -61,19 +50,17 @@ struct ThreadPlatformSlot
 
 /** Bank the slot memo's counter growth since the last harvest. */
 void
-harvestMemoStats(ThreadPlatformSlot &slot, RunStatsAccumulator *acc)
+harvestMemoStats(ThreadPlatformSlot &slot)
 {
-    if (!acc || !slot.memo)
+    if (!slot.memo)
         return;
     const EteeMemo &memo = *slot.memo;
-    acc->probes.fetch_add(memo.probes() - slot.seenProbes,
-                          std::memory_order_relaxed);
-    acc->hits.fetch_add(memo.hits() - slot.seenHits,
-                        std::memory_order_relaxed);
-    acc->builds.fetch_add(memo.stateBuilds() - slot.seenBuilds,
-                          std::memory_order_relaxed);
-    acc->evals.fetch_add(memo.pdnEvaluations() - slot.seenEvals,
-                         std::memory_order_relaxed);
+    metricAdd(Metric::MemoProbes, memo.probes() - slot.seenProbes);
+    metricAdd(Metric::MemoHits, memo.hits() - slot.seenHits);
+    metricAdd(Metric::MemoStateBuilds,
+              memo.stateBuilds() - slot.seenBuilds);
+    metricAdd(Metric::MemoPdnEvaluations,
+              memo.pdnEvaluations() - slot.seenEvals);
     slot.seenProbes = memo.probes();
     slot.seenHits = memo.hits();
     slot.seenBuilds = memo.stateBuilds();
@@ -82,7 +69,7 @@ harvestMemoStats(ThreadPlatformSlot &slot, RunStatsAccumulator *acc)
 
 ThreadPlatformSlot &
 threadSlot(uint64_t run_id, const CampaignSpec &spec,
-           size_t config_idx, bool memoize, RunStatsAccumulator *acc)
+           size_t config_idx, bool memoize)
 {
     thread_local ThreadPlatformSlot slot;
     if (!slot.platform || slot.runId != run_id ||
@@ -90,12 +77,15 @@ threadSlot(uint64_t run_id, const CampaignSpec &spec,
         // A same-run platform change retires this memo before the
         // chunk-end harvest; bank its remaining deltas first. Slots
         // left over from *other* runs were fully harvested at their
-        // last chunk end (or belong to a run that asked for no
-        // stats) and must not leak into this run's accumulator.
+        // last chunk end and must not leak into this run's counters.
         if (slot.runId == run_id)
-            harvestMemoStats(slot, acc);
-        slot.platform =
-            std::make_unique<Platform>(spec.platforms[config_idx]);
+            harvestMemoStats(slot);
+        {
+            SpanScope span("campaign.platform_build", "campaign");
+            slot.platform = std::make_unique<Platform>(
+                spec.platforms[config_idx]);
+        }
+        metricAdd(Metric::CampaignPlatformBuilds);
         slot.memo =
             memoize ? std::make_unique<EteeMemo>(
                           slot.platform->operatingPoints(),
@@ -198,6 +188,20 @@ class CollectSink : public CampaignSink
 
 } // namespace
 
+CampaignRunStats
+campaignStatsSnapshot(const MetricsRegistry &registry)
+{
+    CampaignRunStats s;
+    s.cells = registry.counterValue(Metric::CampaignCells);
+    s.phases = registry.counterValue(Metric::CampaignPhases);
+    s.memoProbes = registry.counterValue(Metric::MemoProbes);
+    s.memoHits = registry.counterValue(Metric::MemoHits);
+    s.stateBuilds = registry.counterValue(Metric::MemoStateBuilds);
+    s.pdnEvaluations =
+        registry.counterValue(Metric::MemoPdnEvaluations);
+    return s;
+}
+
 CampaignEngine::CampaignEngine(const ParallelRunner &runner)
     : _runner(runner)
 {}
@@ -244,8 +248,25 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
     static std::atomic<uint64_t> runCounter{0};
     uint64_t runId = ++runCounter;
 
-    RunStatsAccumulator acc;
-    RunStatsAccumulator *accPtr = stats ? &acc : nullptr;
+    // Execution statistics flow through the metrics registry. When
+    // the caller wants stats and no registry is installed (the
+    // common library-use case), install a run-private one; when one
+    // is already installed (pdnspot_campaign --report), report into
+    // it and attribute this run's share by baseline subtraction.
+    // Concurrent runs in one process share the installed registry,
+    // so their per-run stats would mix — one campaign at a time is
+    // the supported shape.
+    std::optional<MetricsRegistry> localRegistry;
+    std::optional<MetricsInstallation> localInstall;
+    MetricsRegistry *registry = MetricsRegistry::current();
+    if (stats && !registry) {
+        localRegistry.emplace();
+        localInstall.emplace(*localRegistry);
+        registry = &*localRegistry;
+    }
+    CampaignRunStats baseline;
+    if (stats)
+        baseline = campaignStatsSnapshot(*registry);
 
     // Platform-major flattening keeps each worker's platform axis
     // non-decreasing under monotonic range claims, bounding Platform
@@ -288,12 +309,21 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
                 if (failed)
                     return;
             }
+            SpanScope chunkSpan("campaign.chunk", "campaign");
+            // Cell timing costs two clock reads per cell; pay them
+            // only while a registry is collecting.
+            const bool timeCells =
+                MetricsRegistry::current() != nullptr;
             std::vector<CampaignCellResult> shard;
             shard.reserve(end - begin);
             ThreadPlatformSlot *lastSlot = nullptr;
             uint64_t chunkPhases = 0;
             try {
                 for (size_t t = begin; t < end; ++t) {
+                    SpanScope cellSpan("campaign.cell", "campaign");
+                    std::chrono::steady_clock::time_point cellStart;
+                    if (timeCells)
+                        cellStart = std::chrono::steady_clock::now();
                     size_t cell = firstCell + t;
                     size_t p = cell / cellsPerPlatform;
                     size_t rest = cell % cellsPerPlatform;
@@ -301,7 +331,7 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
                     const TraceSpec &traceSpec =
                         spec.traces[traceIdx];
                     ThreadPlatformSlot &slot =
-                        threadSlot(runId, spec, p, _memoize, accPtr);
+                        threadSlot(runId, spec, p, _memoize);
                     lastSlot = &slot;
                     const ResolvedTrace &rt =
                         resolvedTrace(runId, spec, traceIdx);
@@ -316,13 +346,23 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
                         slot.memo.get());
                     chunkPhases += rt.soa.phaseCount();
                     shard.push_back(std::move(c));
+                    if (timeCells) {
+                        std::chrono::duration<double, std::micro>
+                            us = std::chrono::steady_clock::now() -
+                                 cellStart;
+                        metricObserve(Metric::CampaignCellMicros,
+                                      us.count());
+                    }
                 }
-                if (accPtr) {
-                    acc.phases.fetch_add(chunkPhases,
-                                         std::memory_order_relaxed);
-                    if (lastSlot)
-                        harvestMemoStats(*lastSlot, accPtr);
-                }
+                metricAdd(Metric::CampaignCells, end - begin);
+                metricAdd(Metric::CampaignChunks);
+                metricAdd(Metric::CampaignPhases, chunkPhases);
+                if (lastSlot)
+                    harvestMemoStats(*lastSlot);
+                // The chunk boundary is the merge point: bank this
+                // thread's buffered deltas so a snapshot taken
+                // between chunks is at most one chunk stale.
+                MetricsRegistry::flushThread();
             } catch (...) {
                 // A stuck cursor must not strand waiting workers.
                 markFailed();
@@ -363,16 +403,18 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
               "the campaign");
 
     if (stats) {
-        *stats = CampaignRunStats{};
-        stats->cells = n;
-        stats->phases = acc.phases.load(std::memory_order_relaxed);
-        stats->memoProbes =
-            acc.probes.load(std::memory_order_relaxed);
-        stats->memoHits = acc.hits.load(std::memory_order_relaxed);
+        // Every worker flushed at its last chunk boundary and again
+        // after the runner drain (parallel.cc), so the registry
+        // holds this run's complete totals.
+        CampaignRunStats total = campaignStatsSnapshot(*registry);
+        stats->cells = total.cells - baseline.cells;
+        stats->phases = total.phases - baseline.phases;
+        stats->memoProbes = total.memoProbes - baseline.memoProbes;
+        stats->memoHits = total.memoHits - baseline.memoHits;
         stats->stateBuilds =
-            acc.builds.load(std::memory_order_relaxed);
+            total.stateBuilds - baseline.stateBuilds;
         stats->pdnEvaluations =
-            acc.evals.load(std::memory_order_relaxed);
+            total.pdnEvaluations - baseline.pdnEvaluations;
     }
 }
 

@@ -30,6 +30,7 @@
 #include "campaign/campaign_result.hh"
 #include "campaign/campaign_spec.hh"
 #include "common/parallel.hh"
+#include "obs/metrics.hh"
 
 namespace pdnspot
 {
@@ -41,6 +42,12 @@ namespace pdnspot
  * that make memo effectiveness a tracked metric rather than
  * folklore. Purely observational — filling them never perturbs
  * results. Memo counters stay zero when memoization is off.
+ *
+ * Since the observability layer landed this is a thin view over the
+ * well-known campaign metrics (obs/metrics.hh): the engine reports
+ * into the installed MetricsRegistry (installing a run-private one
+ * when the caller wants stats and none is active) and fills this
+ * struct from counter deltas — see campaignStatsSnapshot().
  */
 struct CampaignRunStats
 {
@@ -64,6 +71,15 @@ struct CampaignRunStats
                static_cast<double>(memoProbes);
     }
 };
+
+/**
+ * Project a registry's well-known campaign counters into a
+ * CampaignRunStats. Totals since the registry's construction; the
+ * engine attributes a single run by subtracting a baseline snapshot
+ * taken at run start.
+ */
+CampaignRunStats campaignStatsSnapshot(
+    const MetricsRegistry &registry);
 
 /** Runs campaigns; stateless apart from the pool binding + knobs. */
 class CampaignEngine

@@ -3,10 +3,42 @@
 #include <cstdarg>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
 #include <vector>
 
 namespace pdnspot
 {
+
+namespace
+{
+
+/** Guards the sink, the threshold, and emission itself, so swapped
+ * sinks never observe a half-written message. */
+std::mutex g_logMutex;
+LogLevel g_threshold = LogLevel::Info;
+LogSink g_sink; ///< empty = default stderr sink
+
+void
+defaultSink(LogLevel severity, const std::string &msg)
+{
+    const char *prefix =
+        severity == LogLevel::Warn ? "warn: " : "info: ";
+    std::cerr << prefix << msg << "\n";
+}
+
+void
+emit(LogLevel severity, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    if (static_cast<int>(severity) < static_cast<int>(g_threshold))
+        return;
+    if (g_sink)
+        g_sink(severity, msg);
+    else
+        defaultSink(severity, msg);
+}
+
+} // namespace
 
 std::string
 strprintf(const char *fmt, ...)
@@ -55,13 +87,97 @@ panic(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << "\n";
+    emit(LogLevel::Warn, msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    std::cerr << "info: " << msg << "\n";
+    emit(LogLevel::Info, msg);
+}
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Silent:
+        return "silent";
+    }
+    panic("toString: invalid LogLevel");
+}
+
+LogLevel
+logLevelFromString(const std::string &name)
+{
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "silent")
+        return LogLevel::Silent;
+    fatal(strprintf("unknown log level \"%s\" (expected info, warn "
+                    "or silent)",
+                    name.c_str()));
+}
+
+LogLevel
+setLogThreshold(LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    LogLevel previous = g_threshold;
+    g_threshold = level;
+    return previous;
+}
+
+LogLevel
+logThreshold()
+{
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    return g_threshold;
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    LogSink previous = std::move(g_sink);
+    g_sink = std::move(sink);
+    return previous;
+}
+
+ScopedLogCapture::ScopedLogCapture()
+{
+    _previousSink = setLogSink(
+        [this](LogLevel severity, const std::string &msg) {
+            _entries.push_back(Entry{severity, msg});
+        });
+    _previousThreshold = setLogThreshold(LogLevel::Info);
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    setLogThreshold(_previousThreshold);
+    setLogSink(std::move(_previousSink));
+}
+
+size_t
+ScopedLogCapture::count(LogLevel severity,
+                        const std::string &substring) const
+{
+    size_t n = 0;
+    for (const Entry &e : _entries) {
+        if (e.severity != severity)
+            continue;
+        if (!substring.empty() &&
+            e.message.find(substring) == std::string::npos)
+            continue;
+        ++n;
+    }
+    return n;
 }
 
 } // namespace pdnspot

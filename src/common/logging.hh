@@ -7,13 +7,20 @@
  *            library callers can recover.
  * panic()  - internal invariant violation (a bug in this library);
  *            throws ModelError.
- * warn()   - suspicious but survivable condition, printed to stderr.
- * inform() - plain status message, printed to stderr.
+ * warn()   - suspicious but survivable condition.
+ * inform() - plain status message.
+ *
+ * warn()/inform() route through a process-wide swappable sink
+ * (default: stderr with a "warn: "/"info: " prefix) gated by a
+ * severity threshold, so CLIs can implement --quiet/--log-level and
+ * tests can capture-assert messages (ScopedLogCapture) instead of
+ * letting them leak into CTest output.
  */
 
 #ifndef PDNSPOT_COMMON_LOGGING_HH
 #define PDNSPOT_COMMON_LOGGING_HH
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -56,11 +63,84 @@ std::string joinStrings(const std::vector<std::string> &parts,
 /** Report an internal invariant violation. Never returns. */
 [[noreturn]] void panic(const std::string &msg);
 
-/** Print a warning to stderr. */
+/** Report a suspicious but survivable condition. */
 void warn(const std::string &msg);
 
-/** Print a status message to stderr. */
+/** Report a status message. */
 void inform(const std::string &msg);
+
+/**
+ * Message severities, in threshold order: a threshold of Warn drops
+ * inform() but keeps warn(); Silent drops both. fatal()/panic()
+ * throw and are never filtered.
+ */
+enum class LogLevel
+{
+    Info = 0,
+    Warn = 1,
+    Silent = 2,
+};
+
+const char *toString(LogLevel level);
+
+/** Inverse of toString(LogLevel); fatal() on an unknown name. */
+LogLevel logLevelFromString(const std::string &name);
+
+/**
+ * Messages below `level` are dropped before reaching the sink.
+ * Returns the previous threshold. Default: Info (everything).
+ */
+LogLevel setLogThreshold(LogLevel level);
+
+LogLevel logThreshold();
+
+/**
+ * Where surviving messages go. The sink receives the severity and
+ * the unprefixed message; the default sink writes
+ * "warn: <msg>\n" / "info: <msg>\n" to stderr.
+ */
+using LogSink =
+    std::function<void(LogLevel severity, const std::string &msg)>;
+
+/**
+ * Swap the sink; an empty function restores the default stderr
+ * sink. Returns the previous sink (empty when the default was
+ * active). Sink calls are serialized under an internal mutex.
+ */
+LogSink setLogSink(LogSink sink);
+
+/**
+ * RAII test helper: while alive, warn()/inform() append to this
+ * capture (threshold forced to Info) instead of reaching the
+ * previous sink; destruction restores both. Not for concurrent use
+ * from multiple captures.
+ */
+class ScopedLogCapture
+{
+  public:
+    struct Entry
+    {
+        LogLevel severity;
+        std::string message; ///< unprefixed
+    };
+
+    ScopedLogCapture();
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+
+    const std::vector<Entry> &entries() const { return _entries; }
+
+    /** Captured messages of `severity` containing `substring`. */
+    size_t count(LogLevel severity,
+                 const std::string &substring = "") const;
+
+  private:
+    std::vector<Entry> _entries;
+    LogSink _previousSink;
+    LogLevel _previousThreshold;
+};
 
 } // namespace pdnspot
 

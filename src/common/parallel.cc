@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace pdnspot
 {
@@ -117,6 +118,10 @@ ParallelRunner::workerLoop()
             seen = job->gen;
         }
         size_t ran = drain(*job, _mutex);
+        // Merge this worker's metric buffer before reporting the
+        // indices finished: once the caller sees finished == n,
+        // every worker's contribution is in the registry.
+        MetricsRegistry::flushThread();
         {
             std::lock_guard<std::mutex> lock(_mutex);
             job->finished += ran;
@@ -137,8 +142,11 @@ ParallelRunner::forEach(size_t n,
 
     if (n == 0)
         return;
+    metricAdd(Metric::RunnerJobs);
+    metricSet(Metric::RunnerThreads, static_cast<double>(_threads));
     if (_workers.empty() || n == 1) {
         serial();
+        MetricsRegistry::flushThread();
         return;
     }
 
@@ -158,12 +166,14 @@ ParallelRunner::forEach(size_t n,
     }
     if (!job) {
         serial();
+        MetricsRegistry::flushThread();
         return;
     }
 
     // The calling thread participates too.
     _wake.notify_all();
     size_t ran = drain(*job, _mutex);
+    MetricsRegistry::flushThread();
     {
         std::unique_lock<std::mutex> lock(_mutex);
         job->finished += ran;
@@ -185,7 +195,10 @@ ParallelRunner::forEachChunked(
     if (n == 0)
         return;
     if (grain == 1) {
-        forEach(n, [&](size_t i) { fn(i, i + 1); });
+        forEach(n, [&](size_t i) {
+            metricAdd(Metric::RunnerChunksClaimed);
+            fn(i, i + 1);
+        });
         return;
     }
 
@@ -194,6 +207,7 @@ ParallelRunner::forEachChunked(
     // over unchanged.
     size_t chunks = (n + grain - 1) / grain;
     forEach(chunks, [&](size_t c) {
+        metricAdd(Metric::RunnerChunksClaimed);
         size_t begin = c * grain;
         fn(begin, std::min(begin + grain, n));
     });

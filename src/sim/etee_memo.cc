@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "obs/span_trace.hh"
 
 namespace pdnspot
 {
@@ -53,6 +54,7 @@ EteeMemo::state(const TracePhase &phase)
     // collapsed them into one entry).
     q.ar = canonicalActivityRatio(phase.ar);
     ++_stateBuilds;
+    SpanScope span("memo.state_build", "memo");
     return _states.emplace(key, _opm.build(q)).first->second;
 }
 

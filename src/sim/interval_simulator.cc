@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace pdnspot
 {
@@ -43,6 +44,7 @@ IntervalSimulator::run(const PhaseTrace &trace, const PdnModel &pdn,
                        EteeMemo *memo) const
 {
     checkMemo(memo);
+    metricAdd(Metric::SimRunsStatic);
     SimResult result;
     for (const TracePhase &phase : trace.phases()) {
         EteeResult e = memo ? memo->evaluate(pdn, phase)
@@ -59,6 +61,7 @@ IntervalSimulator::run(const PhaseSoA &soa, const PdnModel &pdn,
                        EteeMemo *memo) const
 {
     checkMemo(memo);
+    metricAdd(Metric::SimRunsStatic);
 
     // One pass of operating-point + ETEE math over the unique
     // states (first-appearance order — exactly the order the
@@ -90,6 +93,7 @@ IntervalSimulator::runOracle(const PhaseTrace &trace,
                              EteeMemo *memo) const
 {
     checkMemo(memo);
+    metricAdd(Metric::SimRunsOracle);
     SimResult result;
     for (const TracePhase &phase : trace.phases()) {
         HybridMode mode;
@@ -117,6 +121,7 @@ IntervalSimulator::runOracle(const PhaseSoA &soa,
                              EteeMemo *memo) const
 {
     checkMemo(memo);
+    metricAdd(Metric::SimRunsOracle);
 
     const std::vector<TracePhase> &unique = soa.uniquePhases();
     std::vector<HybridMode> modes(unique.size());
@@ -151,6 +156,7 @@ IntervalSimulator::run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
                        Pmu &pmu, EteeMemo *memo) const
 {
     checkMemo(memo);
+    metricAdd(Metric::SimRunsPmu);
     SimResult result;
 
     // Per-(phase, mode) evaluation cache: the platform state is

@@ -1,9 +1,12 @@
 #include "workload/trace_source.hh"
 
+#include <chrono>
 #include <map>
 
 #include "common/csv.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/span_trace.hh"
 #include "workload/battery_profiles.hh"
 #include "workload/trace_generator.hh"
 #include "workload/trace_io.hh"
@@ -136,6 +139,14 @@ TraceSpec::transform(TraceTransform step)
 PhaseTrace
 TraceSpec::resolve() const
 {
+    SpanScope span("trace.resolve", "trace");
+    // The resolve timer costs two clock reads; pay them only while
+    // a registry is collecting.
+    const bool timed = MetricsRegistry::current() != nullptr;
+    std::chrono::steady_clock::time_point start;
+    if (timed)
+        start = std::chrono::steady_clock::now();
+
     validate();
 
     PhaseTrace t;
@@ -174,6 +185,13 @@ TraceSpec::resolve() const
     // whatever name its source baked in.
     if (t.name() != _name)
         t = PhaseTrace(_name, t.phases());
+
+    metricAdd(Metric::TraceResolves);
+    if (timed) {
+        std::chrono::duration<double, std::micro> us =
+            std::chrono::steady_clock::now() - start;
+        metricObserve(Metric::TraceResolveMicros, us.count());
+    }
     return t;
 }
 

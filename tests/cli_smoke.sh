@@ -6,13 +6,15 @@
 # errors, spec-error reporting, the listing commands, and --dry-run
 # transform provenance.
 #
-# Usage: cli_smoke.sh <pdnspot_campaign-binary> <case> <spec-dir>
+# Usage: cli_smoke.sh <pdnspot_campaign-binary> <case> <spec-dir> \
+#            [bench_diff-binary]
 
 set -u
 
 tool="$1"
 case_name="$2"
 spec_dir="$3"
+bench_diff="${4:-}"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -133,6 +135,82 @@ EOF
     expect_err "ar-perturb(0.1, seed 7)"
     expect_err "repeat(3) | truncate(2500 ms)"
     expect_err 'concat(generator "bursty-compute" (seed 7))'
+    ;;
+  version)
+    # Both CLIs stamp the same version + git revision, and the
+    # PDNSPOT_GIT_REV environment variable overrides the baked-in
+    # revision (the CI convention for bench JSON).
+    run 0 --version
+    expect_out "pdnspot_campaign "
+    expect_out "(git "
+    PDNSPOT_GIT_REV=cafef00d "$tool" --version \
+        >"$tmp/out" 2>"$tmp/err" || fail "--version failed"
+    expect_out "(git cafef00d)"
+    if [ -n "$bench_diff" ]; then
+        "$bench_diff" --version >"$tmp/out" 2>"$tmp/err" \
+            || fail "bench_diff --version failed"
+        expect_out "bench_diff "
+        expect_out "(git "
+    fi
+    ;;
+  report_unwritable)
+    # Exporter paths are opened before the campaign runs, so a bad
+    # path fails fast with the path in the message.
+    run 1 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv" \
+        --report "$tmp/no_such_dir/r.json"
+    expect_err 'cannot open report file'
+    expect_err "$tmp/no_such_dir/r.json"
+    ;;
+  trace_events_unwritable)
+    run 1 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv" \
+        --trace-events "$tmp/no_such_dir/t.json"
+    expect_err 'cannot open trace-events file'
+    expect_err "$tmp/no_such_dir/t.json"
+    ;;
+  progress_off_tty)
+    # stderr is a file here, not a TTY: the heartbeat must stay
+    # silent (no cells/s lines, no carriage-return rewrites).
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv" --progress
+    if grep -q "cells/s" "$tmp/err"; then
+        fail "--progress wrote a heartbeat to a non-TTY stderr"
+    fi
+    if tr -d '\r' <"$tmp/err" | cmp -s - "$tmp/err"; then :; else
+        fail "--progress wrote carriage returns to a non-TTY stderr"
+    fi
+    ;;
+  report_and_trace_outputs)
+    # The exporters produce well-formed documents and do not perturb
+    # the campaign CSV (byte-identical to an uninstrumented run).
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/a.csv" \
+        --threads 2 --report "$tmp/r.json" \
+        --trace-events "$tmp/t.json"
+    grep -qF '"schema": "pdnspot-report-1"' "$tmp/r.json" \
+        || fail "report lacks the pdnspot-report-1 schema stamp"
+    grep -qF '"content_hash": "fnv1a64:' "$tmp/r.json" \
+        || fail "report lacks the spec content hash"
+    begins=$(grep -c '"ph": "B"' "$tmp/t.json")
+    ends=$(grep -c '"ph": "E"' "$tmp/t.json")
+    if [ "$begins" -eq 0 ] || [ "$begins" -ne "$ends" ]; then
+        fail "trace events unbalanced: $begins B vs $ends E"
+    fi
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/b.csv"
+    cmp -s "$tmp/a.csv" "$tmp/b.csv" \
+        || fail "observability flags perturbed the campaign CSV"
+    ;;
+  quiet_log_level)
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv"
+    expect_err "info: wrote"
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv" --quiet
+    if grep -q "info:" "$tmp/err"; then
+        fail "--quiet let an info-level message through"
+    fi
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv" \
+        --log-level silent
+    if [ -s "$tmp/err" ]; then
+        fail "--log-level silent left stderr non-empty"
+    fi
+    run 2 "$spec_dir/paper_campaign.json" --log-level verbose
+    expect_err "--log-level must be info, warn or silent"
     ;;
   *)
     echo "cli_smoke: unknown case \"$case_name\"" >&2

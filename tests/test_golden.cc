@@ -23,6 +23,8 @@
 
 #include "campaign/campaign_engine.hh"
 #include "common/table.hh"
+#include "obs/metrics.hh"
+#include "obs/run_report.hh"
 #include "workload/trace_io.hh"
 #include "workload/trace_source.hh"
 #include "workload/trace_transform.hh"
@@ -113,6 +115,36 @@ TEST(GoldenFileTest, TraceCsvWrite)
     std::ostringstream csv;
     writeTraceCsv(csv, trace);
     checkGolden("trace_write.csv", csv.str());
+}
+
+TEST(GoldenFileTest, RunReport)
+{
+    // The full pdnspot-report-1 surface over the golden campaign,
+    // serial so metric counts are deterministic, canonicalized so
+    // the volatile members (host, durations, build stamp) cannot
+    // churn the file.
+    MetricsRegistry registry;
+    CampaignResult result = [&] {
+        MetricsInstallation install(registry);
+        return goldenResult();
+    }();
+
+    CampaignSpec spec = goldenSpec();
+    RunReportInputs in;
+    in.specPath = "golden.json";
+    in.specText = "golden";
+    in.specEcho = JsonValue::makeNull();
+    in.spec = &spec;
+    in.threads = 1;
+    in.endCell = result.cells.size();
+    in.rows = result.cells.size();
+    in.wallSeconds = 0.25;
+    in.batteryWh = 50.0;
+    in.summaries = result.summarizeByPdn(BatteryModel(wattHours(50.0)));
+    in.metrics = &registry;
+
+    checkGolden("run_report.json",
+                writeJson(canonicalizeRunReport(buildRunReport(in))));
 }
 
 TEST(GoldenFileTest, SummaryTable)

@@ -184,16 +184,25 @@ TEST(ParallelRunnerTest, RejectsMalformedThreadsEnvVar)
 
 TEST(ParallelRunnerTest, ParseThreadCountPolicy)
 {
-    // Valid values parse; the fallback is untouched.
+    // Capture the rejection warnings instead of leaking them into
+    // the test output — and assert they actually fire.
+    ScopedLogCapture capture;
+
+    // Valid values parse; the fallback is untouched, nothing warns.
     EXPECT_EQ(ParallelRunner::parseThreadCount("1", 5), 1u);
     EXPECT_EQ(ParallelRunner::parseThreadCount("12", 5), 12u);
+    EXPECT_EQ(capture.count(LogLevel::Warn), 0u);
 
     // Non-numeric, zero, negative, fractional, hex, empty and
     // trailing-garbage values all warn and fall back.
+    size_t rejected = 0;
     for (const char *bad : {"", " ", "0", "-3", "2.5", "1e3", "4 ",
                             "0x8", "eight", "+"}) {
         EXPECT_EQ(ParallelRunner::parseThreadCount(bad, 7), 7u)
             << "value \"" << bad << "\"";
+        ++rejected;
+        EXPECT_EQ(capture.count(LogLevel::Warn), rejected)
+            << "value \"" << bad << "\" did not warn";
     }
 
     // Overflowing and absurd values clamp to the pool cap.
@@ -206,6 +215,7 @@ TEST(ParallelRunnerTest, ParseThreadCountPolicy)
 
 TEST(ParallelRunnerTest, CapsAbsurdThreadsEnvVar)
 {
+    ScopedLogCapture capture;
     ::setenv("PDNSPOT_THREADS", "9999999999", 1);
     ParallelRunner runner;
     EXPECT_EQ(runner.threadCount(), 256u);

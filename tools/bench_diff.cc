@@ -33,6 +33,7 @@
 #include "bench/trajectory.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/run_report.hh"
 
 namespace
 {
@@ -42,7 +43,8 @@ using namespace pdnspot;
 constexpr const char *usageText =
     "usage: bench_diff <old.json> <new.json> [--warn <pct>] "
     "[--fail <pct>]\n"
-    "       bench_diff --merge <out.json> <in.json>...\n";
+    "       bench_diff --merge <out.json> <in.json>...\n"
+    "       bench_diff --version\n";
 
 [[noreturn]] void
 usageError(const std::string &message)
@@ -162,6 +164,12 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "-h" || arg == "--help") {
             std::cout << usageText;
+            return 0;
+        } else if (arg == "--version") {
+            // The same stamp bench JSON records carry (git_rev):
+            // PDNSPOT_GIT_REV env over the configure-time revision.
+            std::cout << "bench_diff " << toolVersion() << " (git "
+                      << gitRevision() << ")\n";
             return 0;
         } else if (arg == "--merge") {
             merge = true;

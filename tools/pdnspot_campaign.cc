@@ -25,27 +25,51 @@
  *                    Shard 1 carries the CSV header; concatenating
  *                    the n shard CSVs in order is byte-identical to
  *                    the unsharded run
+ *   --report <path>  write a provenance-stamped pdnspot-report-1
+ *                    JSON run report (obs/run_report.hh): spec echo
+ *                    + content hash, git rev, shard/threads, wall
+ *                    time, the full metric snapshot, per-PDN
+ *                    summaries
+ *   --trace-events <path>
+ *                    record begin/end spans and write them as
+ *                    Chrome/Perfetto trace-event JSON (open in
+ *                    https://ui.perfetto.dev or chrome://tracing)
+ *   --progress       rate-limited cells/sec + ETA heartbeat on
+ *                    stderr; auto-disabled when stderr is not a TTY
+ *   --quiet          drop info-level messages (same as
+ *                    --log-level warn)
+ *   --log-level <l>  minimum message severity: info, warn or silent
+ *   --version        print the tool version and git revision
  *   --dry-run        load + validate the spec, report the campaign
  *                    shape and per-trace provenance (including any
  *                    transform chains), and exit without simulating
  *   --echo-spec      print the parsed spec back as normalized JSON
- *                    and exit
+ *                    and exit (version line goes to stderr)
  *   --list-traces    print the standard trace library (with --seed)
  *   --list-presets   print the named PlatformConfig presets
  *   --seed <n>       library seed for --list-traces (default 42)
+ *
+ * None of the observability flags perturb results: the campaign CSV
+ * is byte-identical with and without --report/--trace-events/
+ * --progress (check.sh verifies this at 1 and 8 threads).
  */
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <unistd.h>
 
 #include "campaign/campaign_engine.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "config/campaign_config.hh"
+#include "obs/run_report.hh"
+#include "obs/span_trace.hh"
 
 namespace
 {
@@ -56,9 +80,14 @@ constexpr const char *usageText =
     "usage: pdnspot_campaign <spec.json> [-o out.csv] [--summary]\n"
     "                        [--battery-wh <x>] [--threads <n>]\n"
     "                        [--no-memo] [--trace-dir <dir>]\n"
-    "                        [--shard k/n] [--dry-run] [--echo-spec]\n"
+    "                        [--shard k/n] [--report out.json]\n"
+    "                        [--trace-events out.trace.json]\n"
+    "                        [--progress] [--quiet]\n"
+    "                        [--log-level info|warn|silent]\n"
+    "                        [--dry-run] [--echo-spec]\n"
     "       pdnspot_campaign --list-traces [--seed <n>]\n"
-    "       pdnspot_campaign --list-presets\n";
+    "       pdnspot_campaign --list-presets\n"
+    "       pdnspot_campaign --version\n";
 
 /** Parsed command line. */
 struct Options
@@ -72,6 +101,10 @@ struct Options
     std::string traceDir;
     size_t shardIndex = 1; ///< 1-based
     size_t shardCount = 1;
+    std::string reportPath;
+    std::string traceEventsPath;
+    bool progress = false;
+    std::optional<LogLevel> logLevel;
     bool dryRun = false;
     bool echoSpec = false;
     bool listTraces = false;
@@ -133,6 +166,10 @@ parseArgs(int argc, char **argv)
         if (arg == "-h" || arg == "--help") {
             std::cout << usageText;
             std::exit(0);
+        } else if (arg == "--version") {
+            std::cout << "pdnspot_campaign " << toolVersion()
+                      << " (git " << gitRevision() << ")\n";
+            std::exit(0);
         } else if (arg == "-o") {
             opts.outPath = value(i, "-o");
         } else if (arg == "--summary") {
@@ -185,6 +222,25 @@ parseArgs(int argc, char **argv)
                            v + "\"");
             opts.shardIndex = *k;
             opts.shardCount = *n;
+        } else if (arg == "--report") {
+            opts.reportPath = value(i, "--report");
+            if (opts.reportPath.empty())
+                usageError("--report needs a path");
+        } else if (arg == "--trace-events") {
+            opts.traceEventsPath = value(i, "--trace-events");
+            if (opts.traceEventsPath.empty())
+                usageError("--trace-events needs a path");
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--quiet") {
+            opts.logLevel = LogLevel::Warn;
+        } else if (arg == "--log-level") {
+            std::string v = value(i, "--log-level");
+            if (v != "info" && v != "warn" && v != "silent")
+                usageError("--log-level must be info, warn or "
+                           "silent, got \"" +
+                           v + "\"");
+            opts.logLevel = logLevelFromString(v);
         } else if (arg == "--seed") {
             std::string v = value(i, "--seed");
             std::optional<uint64_t> seed = parseInt<uint64_t>(v);
@@ -276,12 +332,75 @@ printSummary(const CampaignSummaryBuilder &builder, double batteryWh)
     table.print(std::cerr);
 }
 
+/**
+ * The --progress heartbeat: a rate-limited cells/sec + ETA line,
+ * rewritten in place on stderr. Constructed disabled when stderr is
+ * not a TTY (a piped stderr would accumulate control characters, and
+ * there is no one watching). Purely observational: it only counts
+ * consumed cells, never touches them.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(bool enabled, size_t totalCells)
+        : _enabled(enabled && isatty(fileno(stderr)) == 1),
+          _total(totalCells),
+          _start(std::chrono::steady_clock::now()),
+          _lastPrint(_start)
+    {}
+
+    ~ProgressMeter()
+    {
+        if (_printed)
+            std::cerr << "\n";
+    }
+
+    void
+    tick(size_t done)
+    {
+        if (!_enabled)
+            return;
+        auto now = std::chrono::steady_clock::now();
+        if (done < _total &&
+            now - _lastPrint < std::chrono::milliseconds(500))
+            return;
+        _lastPrint = now;
+        std::chrono::duration<double> elapsed = now - _start;
+        double rate = elapsed.count() > 0.0
+                          ? static_cast<double>(done) /
+                                elapsed.count()
+                          : 0.0;
+        double eta = rate > 0.0
+                         ? static_cast<double>(_total - done) / rate
+                         : 0.0;
+        // \r + trailing pad rewrites the line in place.
+        std::cerr << strprintf(
+            "\rpdnspot_campaign: %zu/%zu cells (%.0f%%), "
+            "%.0f cells/s, ETA %.0fs   ",
+            done, _total,
+            _total ? 100.0 * static_cast<double>(done) /
+                         static_cast<double>(_total)
+                   : 100.0,
+            rate, eta);
+        _printed = true;
+    }
+
+  private:
+    bool _enabled;
+    size_t _total;
+    std::chrono::steady_clock::time_point _start;
+    std::chrono::steady_clock::time_point _lastPrint;
+    bool _printed = false;
+};
+
 /** Streams CSV rows and feeds the summary builder in one pass. */
 class CliSink : public CampaignSink
 {
   public:
-    CliSink(std::ostream &os, bool summarize, bool header)
-        : _csv(os, header), _summarize(summarize)
+    CliSink(std::ostream &os, bool summarize, bool header,
+            ProgressMeter *progress)
+        : _csv(os, header), _summarize(summarize),
+          _progress(progress)
     {}
 
     void
@@ -290,6 +409,8 @@ class CliSink : public CampaignSink
         if (_summarize)
             _builder.add(cell);
         _csv.consume(std::move(cell));
+        if (_progress)
+            _progress->tick(_csv.rows());
     }
 
     size_t rows() const { return _csv.rows(); }
@@ -298,8 +419,21 @@ class CliSink : public CampaignSink
   private:
     CampaignCsvSink _csv;
     bool _summarize;
+    ProgressMeter *_progress;
     CampaignSummaryBuilder _builder;
 };
+
+/** Read a file into a string; fatal() when unreadable. */
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal(strprintf("cannot read \"%s\"", path.c_str()));
+    std::ostringstream out;
+    out << in.rdbuf();
+    return std::move(out).str();
+}
 
 int
 runCli(const Options &opts)
@@ -316,6 +450,9 @@ runCli(const Options &opts)
     }
 
     if (opts.echoSpec) {
+        inform(strprintf("pdnspot_campaign %s (git %s)",
+                         toolVersion().c_str(),
+                         gitRevision().c_str()));
         std::cout << writeJson(parseJsonFile(opts.specPath));
         return 0;
     }
@@ -348,11 +485,30 @@ runCli(const Options &opts)
         return 0;
     }
 
+    // Exporter outputs open before the campaign runs: an unwritable
+    // path should fail in milliseconds, not after the study.
+    std::ofstream reportFile;
+    if (!opts.reportPath.empty()) {
+        reportFile.open(opts.reportPath, std::ios::binary);
+        if (!reportFile)
+            fatal(strprintf("cannot open report file \"%s\"",
+                            opts.reportPath.c_str()));
+    }
+    std::ofstream traceEventsFile;
+    if (!opts.traceEventsPath.empty()) {
+        traceEventsFile.open(opts.traceEventsPath,
+                             std::ios::binary);
+        if (!traceEventsFile)
+            fatal(strprintf("cannot open trace-events file \"%s\"",
+                            opts.traceEventsPath.c_str()));
+    }
+
     std::optional<ParallelRunner> ownRunner;
     if (opts.threads)
         ownRunner.emplace(*opts.threads);
-    CampaignEngine engine(ownRunner ? *ownRunner
-                                    : ParallelRunner::global());
+    const ParallelRunner &runner =
+        ownRunner ? *ownRunner : ParallelRunner::global();
+    CampaignEngine engine(runner);
     engine.memoize(opts.memo);
 
     std::ofstream file;
@@ -364,18 +520,84 @@ runCli(const Options &opts)
     }
     std::ostream &out = opts.outPath != "-" ? file : std::cout;
 
-    CliSink sink(out, opts.summary, opts.shardIndex == 1);
+    // Observability installs: metrics whenever a report is wanted,
+    // spans whenever trace events are. Both are pure observers — the
+    // campaign CSV stays byte-identical with or without them.
+    const bool wantReport = !opts.reportPath.empty();
+    std::optional<MetricsRegistry> registry;
+    std::optional<MetricsInstallation> metricsInstall;
+    if (wantReport) {
+        registry.emplace();
+        metricsInstall.emplace(*registry);
+    }
+    std::optional<SpanRecorder> spans;
+    std::optional<SpanInstallation> spanInstall;
+    if (!opts.traceEventsPath.empty()) {
+        spans.emplace();
+        spanInstall.emplace(*spans);
+    }
+
+    ProgressMeter progress(opts.progress, endCell - firstCell);
+    CliSink sink(out, opts.summary || wantReport,
+                 opts.shardIndex == 1,
+                 opts.progress ? &progress : nullptr);
     CampaignRunStats stats;
+    auto runStart = std::chrono::steady_clock::now();
     engine.run(spec, sink, firstCell, endCell, &stats);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - runStart;
 
     if (opts.outPath != "-") {
         file.close();
         if (!file)
             fatal(strprintf("error writing \"%s\"",
                             opts.outPath.c_str()));
-        std::cerr << "pdnspot_campaign: wrote " << sink.rows()
-                  << " rows to " << opts.outPath << "\n";
+        inform(strprintf("wrote %zu rows to %s", sink.rows(),
+                         opts.outPath.c_str()));
     }
+
+    if (spans) {
+        spanInstall.reset(); // quiesce before serializing
+        traceEventsFile << spans->writeTraceEvents();
+        traceEventsFile.close();
+        if (!traceEventsFile)
+            fatal(strprintf("error writing \"%s\"",
+                            opts.traceEventsPath.c_str()));
+        inform(strprintf(
+            "wrote %zu trace events to %s (%llu spans dropped)",
+            spans->eventCount(), opts.traceEventsPath.c_str(),
+            static_cast<unsigned long long>(
+                spans->droppedSpans())));
+    }
+
+    if (wantReport) {
+        metricsInstall.reset();
+        RunReportInputs rin;
+        rin.specPath = opts.specPath;
+        rin.specText = readFileBytes(opts.specPath);
+        rin.specEcho = parseJsonFile(opts.specPath);
+        rin.spec = &spec;
+        rin.threads = runner.threadCount();
+        rin.shardIndex = opts.shardIndex;
+        rin.shardCount = opts.shardCount;
+        rin.firstCell = firstCell;
+        rin.endCell = endCell;
+        rin.memoize = opts.memo;
+        rin.wallSeconds = wall.count();
+        rin.rows = sink.rows();
+        rin.summaries = sink.builder().summaries(
+            BatteryModel(wattHours(opts.batteryWh)));
+        rin.batteryWh = opts.batteryWh;
+        rin.metrics = &*registry;
+        reportFile << writeJson(buildRunReport(rin));
+        reportFile.close();
+        if (!reportFile)
+            fatal(strprintf("error writing \"%s\"",
+                            opts.reportPath.c_str()));
+        inform(strprintf("wrote run report to %s",
+                         opts.reportPath.c_str()));
+    }
+
     if (opts.summary) {
         printSummary(sink.builder(), opts.batteryWh);
         if (opts.memo)
@@ -399,6 +621,8 @@ int
 main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv);
+    if (opts.logLevel)
+        setLogThreshold(*opts.logLevel);
     try {
         return runCli(opts);
     } catch (const ConfigError &e) {
