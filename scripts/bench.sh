@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Benchmark-trajectory driver: run the campaign / parallel-sweep /
-# memo benches in --json mode, merge their records into the next
+# memo / observability benches in --json mode, merge their records into the next
 # BENCH_<n>.json snapshot at the repo root, and diff it against the
 # previous snapshot with tools/bench_diff (warn >5%, fail >20%
 # regression) — so the perf trajectory of the inner loop (cells/sec,
@@ -38,7 +38,7 @@ if ! grep -q '^benchmark_DIR:PATH=/' "$build_dir/CMakeCache.txt"; then
 fi
 
 cmake --build "$build_dir" -j "$(nproc)" \
-    --target bench_campaign bench_parallel_sweep bench_diff
+    --target bench_campaign bench_obs bench_parallel_sweep bench_diff
 
 export PDNSPOT_GIT_REV="${PDNSPOT_GIT_REV:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 min_time="${PDNSPOT_BENCH_MIN_TIME:-0.1}"
@@ -49,12 +49,17 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 # The trajectory benches: campaign throughput (cells/sec, ns/phase,
-# memo hit rate), the memo on/off timing pair, and the sweep fan-out.
+# memo hit rate), the memo on/off timing pair, the sweep fan-out,
+# and the observability overhead pairs (metricAdd/SpanScope disabled
+# vs enabled, simulator probed vs unbound).
 "$build_dir"/bench/bench_campaign --json "$tmp/campaign.json" \
     --benchmark_filter='campaignThroughput|campaignMemo' \
     --benchmark_min_time="$min_time" >/dev/null
 "$build_dir"/bench/bench_parallel_sweep --json "$tmp/sweep.json" \
     --benchmark_filter='sweepSerial|sweepParallel/threads:8' \
+    --benchmark_min_time="$min_time" >/dev/null
+"$build_dir"/bench/bench_obs --json "$tmp/obs.json" \
+    --benchmark_filter='obsMetricAdd|obsSpanScope|obsSimProbed' \
     --benchmark_min_time="$min_time" >/dev/null
 
 # Next snapshot index: one past the highest existing BENCH_<n>.json.
@@ -70,7 +75,7 @@ for f in BENCH_*.json; do
 done
 
 "$build_dir"/tools/bench_diff --merge "BENCH_${next}.json" \
-    "$tmp/campaign.json" "$tmp/sweep.json"
+    "$tmp/campaign.json" "$tmp/sweep.json" "$tmp/obs.json"
 echo "bench.sh: wrote BENCH_${next}.json"
 
 prev="BENCH_$((next - 1)).json"

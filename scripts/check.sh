@@ -109,6 +109,25 @@ test "$begins" -gt 0 && test "$begins" -eq "$ends"
 echo "check.sh: observability smoke green" \
     "($begins spans, report + trace in $build_dir)"
 
+# Probe smoke: waveform capture must not perturb the campaign either
+# — the CSV stays byte-identical with --probe-out on vs off — and the
+# waveform directory itself is deterministic, byte for byte, at 1 vs
+# 8 threads. The paper campaign's waveforms land in the build dir for
+# CI to upload next to the report and span trace.
+PDNSPOT_THREADS=1 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/paper_campaign.json -o "$smoke_dir/probe1.csv" \
+    --probe-out "$smoke_dir/probes1"
+PDNSPOT_THREADS=8 "$build_dir"/tools/pdnspot_campaign \
+    examples/specs/paper_campaign.json -o "$smoke_dir/probe8.csv" \
+    --probe-out "$build_dir/paper_probes"
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/probe1.csv"
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/probe8.csv"
+diff -r "$smoke_dir/probes1" "$build_dir/paper_probes"
+waveforms=$(ls "$build_dir"/paper_probes/*.csv | wc -l)
+test "$waveforms" -gt 0
+echo "check.sh: probe smoke green" \
+    "($waveforms waveforms in $build_dir/paper_probes)"
+
 # Benchmark trajectory: run the campaign/sweep benches in --json
 # mode, merge the next BENCH_<n>.json snapshot at the repo root, and
 # diff it against the previous one — a >20% regression on cells/sec,

@@ -148,24 +148,25 @@ resolvedTrace(uint64_t run_id, const CampaignSpec &spec,
 SimResult
 simulateCell(const Platform &platform, const ResolvedTrace &rt,
              PdnKind kind, const CampaignSpec &spec, Time tick,
-             EteeMemo *memo)
+             EteeMemo *memo, SignalProbe *probe)
 {
     IntervalSimulator sim(platform.operatingPoints(),
                           platform.config().tdp, tick);
     if (kind == PdnKind::FlexWatts) {
         if (spec.mode == SimMode::Oracle)
-            return sim.runOracle(rt.soa, platform.flexWatts(), memo);
+            return sim.runOracle(rt.soa, platform.flexWatts(), memo,
+                                 probe);
         if (spec.mode == SimMode::Pmu) {
             PmuConfig cfg;
             cfg.tdp = platform.config().tdp;
             Pmu pmu(cfg, platform.predictor());
             return sim.run(rt.trace, platform.flexWatts(), pmu,
-                           memo);
+                           memo, probe);
         }
     }
     // Non-hybrid PDNs have no mode logic: every mode simulates them
     // statically — through the batched SoA path.
-    return sim.run(rt.soa, platform.pdn(kind), memo);
+    return sim.run(rt.soa, platform.pdn(kind), memo, probe);
 }
 
 /** Collects streamed cells back into an in-memory CampaignResult. */
@@ -340,10 +341,37 @@ CampaignEngine::run(const CampaignSpec &spec, CampaignSink &sink,
                     c.platform = spec.platforms[p].name;
                     c.pdn = spec.pdns[rest % nPdns];
                     c.mode = spec.mode;
+                    // Probe binding is per cell and worker-private;
+                    // the empty-probes check keeps unprobed
+                    // campaigns on the exact PR-7 fast path.
+                    std::unique_ptr<SignalProbe> probe;
+                    if (!spec.probes.empty()) {
+                        std::string pdnName = toString(c.pdn);
+                        std::string modeName = toString(c.mode);
+                        for (const ProbeSpec &ps : spec.probes) {
+                            if (ps.matches(c.trace, c.platform,
+                                           pdnName, modeName)) {
+                                probe = std::make_unique<SignalProbe>(
+                                    ps, spec.platforms[p].tdp);
+                                break;
+                            }
+                        }
+                    }
                     c.sim = simulateCell(
                         *slot.platform, rt, c.pdn, spec,
                         traceSpec.tickOverride().value_or(spec.tick),
-                        slot.memo.get());
+                        slot.memo.get(), probe.get());
+                    if (probe) {
+                        Waveform w = probe->take();
+                        w.trace = c.trace;
+                        w.platform = c.platform;
+                        w.pdn = toString(c.pdn);
+                        w.mode = toString(c.mode);
+                        w.cellIndex = cell;
+                        c.waveform =
+                            std::make_shared<const Waveform>(
+                                std::move(w));
+                    }
                     chunkPhases += rt.soa.phaseCount();
                     shard.push_back(std::move(c));
                     if (timeCells) {

@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,17 @@ struct CampaignCellResult
     PdnKind pdn = PdnKind::IVR;
     SimMode mode = SimMode::Static;
     SimResult sim;
+
+    /**
+     * The captured waveform when a probe (CampaignSpec::probes)
+     * matched this cell; null otherwise. Rides the streaming
+     * delivery in canonical cell order, and is deliberately outside
+     * the CSV surface: writeCsv ignores it and readCsv leaves it
+     * null, so campaign CSVs are byte-identical probe-on vs
+     * probe-off. operator== compares the pointer (identity), which
+     * keeps the unprobed determinism contracts (null == null) exact.
+     */
+    std::shared_ptr<const Waveform> waveform;
 
     bool operator==(const CampaignCellResult &) const = default;
 };

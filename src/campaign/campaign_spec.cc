@@ -100,6 +100,46 @@ CampaignSpec::validate() const
                                 toString(pdns[i]).c_str()));
         }
     }
+
+    for (const ProbeSpec &probe : probes) {
+        probe.validate();
+        // A selector naming nothing in the spec would silently
+        // capture nothing; fail it like any other config error.
+        if (!probe.trace.empty()) {
+            bool found = false;
+            for (const TraceSpec &t : traces)
+                found = found || t.name() == probe.trace;
+            if (!found)
+                fatal(strprintf("CampaignSpec: probe trace selector "
+                                "\"%s\" matches no trace",
+                                probe.trace.c_str()));
+        }
+        if (!probe.platform.empty()) {
+            bool found = false;
+            for (const PlatformConfig &p : platforms)
+                found = found || p.name == probe.platform;
+            if (!found)
+                fatal(strprintf("CampaignSpec: probe platform "
+                                "selector \"%s\" matches no "
+                                "platform",
+                                probe.platform.c_str()));
+        }
+        if (!probe.pdn.empty()) {
+            bool found = false;
+            for (PdnKind kind : pdns)
+                found = found || toString(kind) == probe.pdn;
+            if (!found)
+                fatal(strprintf("CampaignSpec: probe pdn selector "
+                                "\"%s\" matches no PDN in the spec",
+                                probe.pdn.c_str()));
+        }
+        if (!probe.mode.empty() && probe.mode != toString(mode))
+            fatal(strprintf("CampaignSpec: probe mode selector "
+                            "\"%s\" does not match the campaign "
+                            "mode \"%s\"",
+                            probe.mode.c_str(),
+                            toString(mode).c_str()));
+    }
 }
 
 } // namespace pdnspot

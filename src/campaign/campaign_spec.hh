@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/probe.hh"
 #include "pdn/pdn_model.hh"
 #include "pdnspot/platform.hh"
 #include "workload/trace.hh"
@@ -70,6 +71,15 @@ struct CampaignSpec
     SimMode mode = SimMode::Static;
 
     /**
+     * Waveform probes (obs/probe.hh): cells matching a probe's
+     * selectors capture a per-phase waveform delivered on
+     * CampaignCellResult::waveform (first matching probe wins).
+     * Empty = no capture, and the simulators run entirely unprobed
+     * (the zero-overhead contract).
+     */
+    std::vector<ProbeSpec> probes;
+
+    /**
      * Interval-simulator step (bounds switch-flow resolution).
      * Individual traces may carry a per-cell override
      * (TraceSpec::tick); cells of such traces simulate at that tick
@@ -93,7 +103,10 @@ struct CampaignSpec
      * with unique CSV-safe names, unique platform names, and every
      * platform TDP within the operating-point model's span. Trace
      * specs are not resolved: file-backed trace errors surface at
-     * resolution time.
+     * resolution time. Probe specs must be intrinsically sane and
+     * their non-empty selectors must name values the spec's axes
+     * actually carry (a silently-never-matching probe is a config
+     * error).
      */
     void validate() const;
 };

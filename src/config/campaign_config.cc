@@ -318,6 +318,103 @@ tracesFromJson(const JsonValue &v, const std::string &traceDir)
     return out;
 }
 
+ProbeSpec
+probeFromJson(const JsonValue &v)
+{
+    rejectUnknownKeys(v, "probe",
+                      {"trace", "platform", "pdn", "mode", "signals",
+                       "decimate", "trigger", "battery_wh"});
+
+    ProbeSpec probe;
+    if (const JsonValue *t = v.find("trace"))
+        probe.trace = t->asString();
+    if (const JsonValue *p = v.find("platform"))
+        probe.platform = p->asString();
+    // Selector spellings are validated here (canonicalized through
+    // the enum), existence in the spec's axes in
+    // CampaignSpec::validate.
+    if (const JsonValue *p = v.find("pdn"))
+        probe.pdn = pdnKindToString(pdnKindFromJson(*p));
+    if (const JsonValue *m = v.find("mode"))
+        probe.mode = toString(simModeFromJson(*m));
+
+    if (const JsonValue *signals = v.find("signals")) {
+        if (signals->items().empty())
+            signals->fail("\"signals\" must name at least one "
+                          "signal (omit the key to capture all)");
+        for (const JsonValue &item : signals->items()) {
+            const std::string &name = item.asString();
+            bool known = false;
+            ProbeSignal signal = ProbeSignal::SupplyPowerW;
+            for (ProbeSignal s : allProbeSignals) {
+                if (toString(s) == name) {
+                    signal = s;
+                    known = true;
+                }
+            }
+            if (!known) {
+                std::vector<std::string> names;
+                for (ProbeSignal s : allProbeSignals)
+                    names.push_back(toString(s));
+                item.fail(strprintf(
+                    "unknown probe signal \"%s\" (expected one of "
+                    "%s)",
+                    name.c_str(), joinStrings(names).c_str()));
+            }
+            for (ProbeSignal seen : probe.signals) {
+                if (seen == signal)
+                    item.fail(strprintf("duplicate probe signal "
+                                        "\"%s\"",
+                                        name.c_str()));
+            }
+            probe.signals.push_back(signal);
+        }
+    }
+
+    if (const JsonValue *d = v.find("decimate"))
+        probe.decimate = static_cast<uint64_t>(
+            d->asInteger("\"decimate\"", 1, 1000000000L));
+
+    if (const JsonValue *trigger = v.find("trigger")) {
+        rejectUnknownKeys(*trigger, "trigger", {"on", "window"});
+        ProbeTriggerSpec t;
+        if (const JsonValue *on = trigger->find("on")) {
+            const std::string &name = on->asString();
+            bool known = false;
+            for (ProbeTriggerSpec::On o :
+                 {ProbeTriggerSpec::On::ModeSwitch,
+                  ProbeTriggerSpec::On::BudgetClip,
+                  ProbeTriggerSpec::On::Any}) {
+                if (toString(o) == name) {
+                    t.on = o;
+                    known = true;
+                }
+            }
+            if (!known)
+                on->fail(strprintf(
+                    "unknown trigger \"%s\" (expected mode_switch, "
+                    "budget_clip or any)",
+                    name.c_str()));
+        }
+        const JsonValue *window = trigger->find("window");
+        if (!window)
+            trigger->fail("missing required trigger key \"window\"");
+        t.window = static_cast<uint64_t>(
+            window->asInteger("\"window\"", 1, 1000000000L));
+        probe.trigger = t;
+    }
+
+    if (const JsonValue *wh = v.find("battery_wh")) {
+        double capacity = wh->asNumber();
+        if (!(capacity > 0.0))
+            wh->fail(strprintf("\"battery_wh\" must be positive, "
+                               "got %g",
+                               capacity));
+        probe.batteryWh = capacity;
+    }
+    return probe;
+}
+
 std::vector<std::string>
 presetNames()
 {
@@ -535,7 +632,7 @@ campaignSpecFromJson(const JsonValue &root,
 {
     rejectUnknownKeys(root, "spec",
                       {"traces", "platforms", "pdns", "mode",
-                       "tick_us"});
+                       "tick_us", "probes"});
     for (const char *required : {"traces", "platforms", "pdns"}) {
         if (!root.find(required))
             root.fail(strprintf("missing required key \"%s\"",
@@ -564,6 +661,57 @@ campaignSpecFromJson(const JsonValue &root,
                                  "%g",
                                  us));
         spec.tick = microseconds(us);
+    }
+    if (const JsonValue *probes = root.find("probes")) {
+        if (probes->items().empty())
+            probes->fail("\"probes\" must hold at least one probe "
+                         "entry (omit the key for no capture)");
+        for (const JsonValue &item : probes->items()) {
+            ProbeSpec probe = probeFromJson(item);
+            // Cross-check the selectors against the axes parsed
+            // above, here, so the error carries this entry's
+            // position (CampaignSpec::validate repeats the check
+            // with a plain fatal() for programmatic callers).
+            if (!probe.trace.empty()) {
+                bool found = false;
+                for (const TraceSpec &t : spec.traces)
+                    found = found || t.name() == probe.trace;
+                if (!found)
+                    item.fail(strprintf(
+                        "probe trace selector \"%s\" matches no "
+                        "trace in the spec",
+                        probe.trace.c_str()));
+            }
+            if (!probe.platform.empty()) {
+                bool found = false;
+                for (const PlatformConfig &p : spec.platforms)
+                    found = found || p.name == probe.platform;
+                if (!found)
+                    item.fail(strprintf(
+                        "probe platform selector \"%s\" matches no "
+                        "platform in the spec",
+                        probe.platform.c_str()));
+            }
+            if (!probe.pdn.empty()) {
+                bool found = false;
+                for (PdnKind kind : spec.pdns)
+                    found = found || toString(kind) == probe.pdn;
+                if (!found)
+                    item.fail(strprintf(
+                        "probe pdn selector \"%s\" matches no PDN "
+                        "in the spec",
+                        probe.pdn.c_str()));
+            }
+            if (!probe.mode.empty() &&
+                probe.mode != toString(spec.mode)) {
+                item.fail(strprintf(
+                    "probe mode selector \"%s\" does not match the "
+                    "campaign mode \"%s\"",
+                    probe.mode.c_str(),
+                    toString(spec.mode).c_str()));
+            }
+            spec.probes.push_back(std::move(probe));
+        }
     }
 
     spec.validate();

@@ -53,6 +53,25 @@
  *   spelling: IVR, MBVR, LDO, I+MBVR, FlexWatts).
  * - "mode" is "static" (default), "pmu" or "oracle"; "tick_us" is
  *   the simulator step in microseconds (default 50).
+ * - "probes" (optional) binds waveform probes (obs/probe.hh) to
+ *   matching cells; each entry is an object of cell selectors and
+ *   capture parameters, all optional:
+ *
+ *     {"trace": "day-in-the-life", "platform": "ultraportable-15w",
+ *      "pdn": "FlexWatts", "mode": "pmu",
+ *      "signals": ["supply_power_w", "etee", "mode"],
+ *      "decimate": 4,
+ *      "trigger": {"on": "mode_switch", "window": 16},
+ *      "battery_wh": 50.0}
+ *
+ *   Omitted selectors match every value on that axis (but non-empty
+ *   selectors must name something the spec's axes carry); omitted
+ *   "signals" captures all signals; "decimate" keeps every Nth
+ *   phase; "trigger" bounds capture to ±window phases around each
+ *   "mode_switch", "budget_clip" or "any" (default) event. The
+ *   first matching probe binds to a cell. Probes only produce
+ *   output through surfaces that ask for it (the CLI's
+ *   --probe-out); see docs/observability.md for the full grammar.
  *
  * Every binding error — unknown key, bad enum value, missing trace
  * or preset — is a single-line ConfigError carrying the offending

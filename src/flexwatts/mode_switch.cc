@@ -23,6 +23,8 @@ ModeSwitchFlow::requestSwitch(Time now, HybridMode target)
     _busyUntil = now + _params.totalLatency();
     _totalOverhead += _params.totalLatency();
     ++_switchCount;
+    if (_observer)
+        _observer(now, target);
     return true;
 }
 

@@ -19,6 +19,7 @@
 #define PDNSPOT_FLEXWATTS_MODE_SWITCH_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "common/units.hh"
 #include "flexwatts/hybrid_mode.hh"
@@ -78,12 +79,25 @@ class ModeSwitchFlow
 
     const ModeSwitchParams &params() const { return _params; }
 
+    /**
+     * Observe accepted switches: called from requestSwitch's success
+     * path with (start time, target mode). Strictly observational —
+     * the waveform probe (obs/probe.hh) hangs off this; pass an
+     * empty function to detach.
+     */
+    void
+    setObserver(std::function<void(Time, HybridMode)> observer)
+    {
+        _observer = std::move(observer);
+    }
+
   private:
     ModeSwitchParams _params;
     HybridMode _mode;
     Time _busyUntil;
     uint64_t _switchCount = 0;
     Time _totalOverhead;
+    std::function<void(Time, HybridMode)> _observer;
 };
 
 } // namespace pdnspot

@@ -335,6 +335,43 @@ MetricsRegistry::snapshot() const
     return out;
 }
 
+double
+histogramQuantile(const MetricSnapshot &snapshot, double q)
+{
+    if (snapshot.kind != MetricKind::Histogram ||
+        snapshot.count == 0 || snapshot.buckets.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+
+    double target = q * static_cast<double>(snapshot.count);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snapshot.buckets.size(); ++b) {
+        uint64_t n = snapshot.buckets[b];
+        if (n == 0)
+            continue;
+        if (static_cast<double>(cumulative + n) < target) {
+            cumulative += n;
+            continue;
+        }
+        double lo = b == 0 ? snapshot.min
+                           : std::ldexp(1.0, static_cast<int>(b) - 1);
+        double hi = b == 0 ? 1.0
+                           : std::ldexp(1.0, static_cast<int>(b));
+        double frac = (target - static_cast<double>(cumulative)) /
+                      static_cast<double>(n);
+        double value = lo + frac * (hi - lo);
+        if (value < snapshot.min)
+            return snapshot.min;
+        if (value > snapshot.max)
+            return snapshot.max;
+        return value;
+    }
+    return snapshot.max;
+}
+
 uint64_t
 MetricsRegistry::counterValue(size_t id) const
 {

@@ -101,6 +101,19 @@ struct MetricSnapshot
 };
 
 /**
+ * Quantile estimate (q clamped to [0, 1]) from a histogram
+ * snapshot's log2 buckets: the bucket containing the q-th sample is
+ * located by cumulative count, then the value is linearly
+ * interpolated across the bucket's value span (bucket 0 spans
+ * [min, 1), bucket i spans [2^(i-1), 2^i)) and clamped to
+ * [min, max]. Resolution is therefore one log2 bucket — good enough
+ * for the order-of-magnitude tail latencies the run report and
+ * --summary print as p50/p95/p99. Returns 0.0 for empty histograms
+ * and non-histogram snapshots.
+ */
+double histogramQuantile(const MetricSnapshot &snapshot, double q);
+
+/**
  * A registry instance. The well-known Metric enum is pre-registered;
  * further metrics can be registered by name at any time (ids are
  * dense and stable for the registry's lifetime). Thread-side

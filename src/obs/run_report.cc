@@ -103,6 +103,9 @@ metricJson(const MetricSnapshot &m)
         fields.emplace_back("sum", num(m.value));
         fields.emplace_back("min", num(m.min));
         fields.emplace_back("max", num(m.max));
+        fields.emplace_back("p50", num(histogramQuantile(m, 0.50)));
+        fields.emplace_back("p95", num(histogramQuantile(m, 0.95)));
+        fields.emplace_back("p99", num(histogramQuantile(m, 0.99)));
         std::vector<JsonValue> buckets;
         buckets.reserve(m.buckets.size());
         for (uint64_t b : m.buckets)
@@ -233,6 +236,9 @@ canonicalMetric(const JsonValue &metric)
     out = withMember(out, "sum", JsonValue::makeNumber(0.0));
     out = withMember(out, "min", JsonValue::makeNumber(0.0));
     out = withMember(out, "max", JsonValue::makeNumber(0.0));
+    out = withMember(out, "p50", JsonValue::makeNumber(0.0));
+    out = withMember(out, "p95", JsonValue::makeNumber(0.0));
+    out = withMember(out, "p99", JsonValue::makeNumber(0.0));
     out = withMember(out, "buckets", JsonValue::makeArray({}));
     return out;
 }

@@ -14,7 +14,10 @@
  *
  * The schema is versioned like pdnspot-bench-1 (src/bench/
  * trajectory.hh): consumers check the "schema" member and reject
- * documents they do not understand.
+ * documents they do not understand. Histogram metrics serialize
+ * count/sum/min/max, the log2 bucket counts, and p50/p95/p99
+ * percentile estimates (histogramQuantile — bucket-interpolated, so
+ * order-of-magnitude resolution, same numbers --summary prints).
  *
  * canonicalizeRunReport() rewrites the volatile members (wall time,
  * git rev, host, durations) to fixed placeholders so golden-file
@@ -90,10 +93,10 @@ JsonValue buildRunReport(const RunReportInputs &inputs);
 /**
  * The golden-file projection: tool.version -> "VERSION",
  * tool.git_rev -> "GITREV", host -> "HOST", wall_time_s -> 0,
- * spec.path -> "SPEC", and every histogram metric's value/min/max
- * zeroed with its buckets emptied (sample *counts* are deterministic
- * at one thread; durations are not). Unknown members pass through
- * unchanged.
+ * spec.path -> "SPEC", and every histogram metric's
+ * value/min/max/p50/p95/p99 zeroed with its buckets emptied (sample
+ * *counts* are deterministic at one thread; durations are not).
+ * Unknown members pass through unchanged.
  */
 JsonValue canonicalizeRunReport(const JsonValue &report);
 

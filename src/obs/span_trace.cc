@@ -136,10 +136,37 @@ SpanRecorder::droppedSpans() const
 JsonValue
 SpanRecorder::traceEventsJson() const
 {
+    TraceEventExport unstamped;
+    unstamped.shardIndex = static_cast<size_t>(getpid());
+    unstamped.processName.clear();
+    return traceEventsJson(unstamped);
+}
+
+JsonValue
+SpanRecorder::traceEventsJson(const TraceEventExport &options) const
+{
     std::lock_guard<std::mutex> lock(_mutex);
-    double pid = static_cast<double>(getpid());
+    double pid = static_cast<double>(options.shardIndex);
 
     std::vector<JsonValue> events;
+    if (!options.processName.empty()) {
+        std::string label = options.processName;
+        if (options.shardCount > 1)
+            label += strprintf(" shard %zu/%zu", options.shardIndex,
+                               options.shardCount);
+        std::vector<JsonValue::Member> args;
+        args.emplace_back("name",
+                          JsonValue::makeString(std::move(label)));
+        std::vector<JsonValue::Member> fields;
+        fields.emplace_back(
+            "name", JsonValue::makeString("process_name"));
+        fields.emplace_back("ph", JsonValue::makeString("M"));
+        fields.emplace_back("pid", JsonValue::makeNumber(pid));
+        fields.emplace_back("tid", JsonValue::makeNumber(0.0));
+        fields.emplace_back(
+            "args", JsonValue::makeObject(std::move(args)));
+        events.push_back(JsonValue::makeObject(std::move(fields)));
+    }
     for (const auto &log : _logs) {
         // A span still open at serialization time (its scope is
         // live) would unbalance the stream; skip exactly those
@@ -179,6 +206,9 @@ SpanRecorder::traceEventsJson() const
                 JsonValue::makeObject(std::move(fields)));
         }
     }
+
+    for (const JsonValue &extra : options.extraEvents)
+        events.push_back(extra);
 
     std::vector<JsonValue::Member> doc;
     doc.emplace_back("traceEvents",

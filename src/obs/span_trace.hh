@@ -38,6 +38,30 @@ namespace pdnspot
 {
 
 /**
+ * Options for the identity-stamped trace-event export. Sharded
+ * campaign runs (--shard k/n) each serialize their own timeline;
+ * stamping the shard index as the pid and into the process name
+ * keeps concatenated/merged timelines from colliding on (pid, tid)
+ * in the Perfetto UI. `extraEvents` (e.g. probe counter tracks from
+ * obs/waveform_io.hh, which carry their own pids) are appended after
+ * the span events.
+ */
+struct TraceEventExport
+{
+    size_t shardIndex = 1;
+    size_t shardCount = 1;
+
+    /**
+     * Process name for the "M" process_name metadata event; when
+     * shardCount > 1 the serializer appends " shard k/n". Empty
+     * suppresses the metadata event.
+     */
+    std::string processName = "pdnspot_campaign";
+
+    std::vector<JsonValue> extraEvents;
+};
+
+/**
  * Collects spans from every thread that touches it while installed.
  * Serialize (traceEventsJson/writeTraceEvents) only after the
  * producing threads have quiesced — typically after the campaign
@@ -85,6 +109,16 @@ class SpanRecorder
      * construction; tids are dense per-thread ids in first-use order.
      */
     JsonValue traceEventsJson() const;
+
+    /**
+     * Identity-stamped export: spans carry pid = options.shardIndex
+     * (not getpid()), a process_name metadata event labels the
+     * timeline (shard-suffixed when shardCount > 1), and
+     * options.extraEvents ride along at the end of traceEvents. The
+     * zero-argument overload above keeps the historical unstamped
+     * shape.
+     */
+    JsonValue traceEventsJson(const TraceEventExport &options) const;
 
     /** writeJson(traceEventsJson()). */
     std::string writeTraceEvents() const;

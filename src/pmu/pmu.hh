@@ -63,6 +63,13 @@ class Pmu
     bool switching(Time now) const { return _flow.switching(now); }
 
     const ModeSwitchFlow &switchFlow() const { return _flow; }
+
+    /** Forward to ModeSwitchFlow::setObserver (waveform probes). */
+    void
+    setSwitchObserver(std::function<void(Time, HybridMode)> observer)
+    {
+        _flow.setObserver(std::move(observer));
+    }
     double arEstimate() const { return _sensor.estimate(); }
     uint64_t evaluations() const { return _evaluations; }
 

@@ -32,7 +32,7 @@ PowerBudgetManager::observe(Power supply_power, Time interval)
     // Proportional control: scale the clock by the remaining headroom.
     double headroom = _tdp / _average;
     _multiplier = std::clamp(_multiplier * std::pow(headroom, 0.25),
-                             0.25, _maxMultiplier);
+                             minMultiplier, _maxMultiplier);
 }
 
 double

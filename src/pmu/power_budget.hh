@@ -22,6 +22,9 @@ namespace pdnspot
 class PowerBudgetManager
 {
   public:
+    /** Throttle floor on the clock adjustment. */
+    static constexpr double minMultiplier = 0.25;
+
     /**
      * @param tdp the budget the average power must respect
      * @param window EWMA time constant of the power average
@@ -42,7 +45,24 @@ class PowerBudgetManager
      */
     double recommendedMultiplier() const;
 
+    /**
+     * True while the recommendation sits pinned at the throttle
+     * floor — the governor is actively clipping performance and the
+     * proportional control has run out of downward authority.
+     * Transitions into this state are the "budget_clip" events the
+     * waveform probe (obs/probe.hh) records. (Sitting at the Turbo
+     * ceiling is the opposite condition — maximal headroom — and is
+     * visible through recommendedMultiplier()/maxMultiplier().)
+     */
+    bool
+    clamped() const
+    {
+        return _multiplier <= minMultiplier;
+    }
+
     Power tdp() const { return _tdp; }
+
+    double maxMultiplier() const { return _maxMultiplier; }
 
   private:
     Power _tdp;

@@ -5,9 +5,31 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/probe.hh"
 
 namespace pdnspot
 {
+
+namespace
+{
+
+/** Feed one static/oracle phase evaluation to the probe. */
+void
+probePhase(SignalProbe *probe, uint64_t phase, Time start,
+           Time duration, const EteeResult &e, int mode)
+{
+    ProbeFrame f;
+    f.phase = phase;
+    f.start = start;
+    f.duration = duration;
+    f.supplyPowerW = inWatts(e.inputPower);
+    f.nominalPowerW = inWatts(e.nominalPower);
+    f.loss = &e.loss;
+    f.mode = mode;
+    probe->samplePhase(f);
+}
+
+} // namespace
 
 IntervalSimulator::IntervalSimulator(const OperatingPointModel &opm,
                                      Power tdp, Time tick)
@@ -41,14 +63,18 @@ IntervalSimulator::checkMemo(const EteeMemo *memo) const
 
 SimResult
 IntervalSimulator::run(const PhaseTrace &trace, const PdnModel &pdn,
-                       EteeMemo *memo) const
+                       EteeMemo *memo, SignalProbe *probe) const
 {
     checkMemo(memo);
     metricAdd(Metric::SimRunsStatic);
     SimResult result;
-    for (const TracePhase &phase : trace.phases()) {
+    for (size_t p = 0; p < trace.phases().size(); ++p) {
+        const TracePhase &phase = trace.phases()[p];
         EteeResult e = memo ? memo->evaluate(pdn, phase)
                             : pdn.evaluate(stateFor(phase));
+        if (probe)
+            probePhase(probe, p, result.duration, phase.duration, e,
+                       -1);
         result.duration += phase.duration;
         result.supplyEnergy += e.inputPower * phase.duration;
         result.nominalEnergy += e.nominalPower * phase.duration;
@@ -58,7 +84,7 @@ IntervalSimulator::run(const PhaseTrace &trace, const PdnModel &pdn,
 
 SimResult
 IntervalSimulator::run(const PhaseSoA &soa, const PdnModel &pdn,
-                       EteeMemo *memo) const
+                       EteeMemo *memo, SignalProbe *probe) const
 {
     checkMemo(memo);
     metricAdd(Metric::SimRunsStatic);
@@ -80,6 +106,9 @@ IntervalSimulator::run(const PhaseSoA &soa, const PdnModel &pdn,
     const std::vector<uint32_t> &index = soa.uniqueIndex();
     for (size_t p = 0; p < durations.size(); ++p) {
         const EteeResult &e = etee[index[p]];
+        if (probe)
+            probePhase(probe, p, result.duration, durations[p], e,
+                       -1);
         result.duration += durations[p];
         result.supplyEnergy += e.inputPower * durations[p];
         result.nominalEnergy += e.nominalPower * durations[p];
@@ -90,12 +119,13 @@ IntervalSimulator::run(const PhaseSoA &soa, const PdnModel &pdn,
 SimResult
 IntervalSimulator::runOracle(const PhaseTrace &trace,
                              const FlexWattsPdn &pdn,
-                             EteeMemo *memo) const
+                             EteeMemo *memo, SignalProbe *probe) const
 {
     checkMemo(memo);
     metricAdd(Metric::SimRunsOracle);
     SimResult result;
-    for (const TracePhase &phase : trace.phases()) {
+    for (size_t p = 0; p < trace.phases().size(); ++p) {
+        const TracePhase &phase = trace.phases()[p];
         HybridMode mode;
         EteeResult e;
         if (memo) {
@@ -106,6 +136,9 @@ IntervalSimulator::runOracle(const PhaseTrace &trace,
             mode = pdn.bestMode(s);
             e = pdn.evaluate(s, mode);
         }
+        if (probe)
+            probePhase(probe, p, result.duration, phase.duration, e,
+                       static_cast<int>(mode));
         result.duration += phase.duration;
         result.supplyEnergy += e.inputPower * phase.duration;
         result.nominalEnergy += e.nominalPower * phase.duration;
@@ -118,7 +151,7 @@ IntervalSimulator::runOracle(const PhaseTrace &trace,
 SimResult
 IntervalSimulator::runOracle(const PhaseSoA &soa,
                              const FlexWattsPdn &pdn,
-                             EteeMemo *memo) const
+                             EteeMemo *memo, SignalProbe *probe) const
 {
     checkMemo(memo);
     metricAdd(Metric::SimRunsOracle);
@@ -142,6 +175,9 @@ IntervalSimulator::runOracle(const PhaseSoA &soa,
     const std::vector<uint32_t> &index = soa.uniqueIndex();
     for (size_t p = 0; p < durations.size(); ++p) {
         const EteeResult &e = etee[index[p]];
+        if (probe)
+            probePhase(probe, p, result.duration, durations[p], e,
+                       static_cast<int>(modes[index[p]]));
         result.duration += durations[p];
         result.supplyEnergy += e.inputPower * durations[p];
         result.nominalEnergy += e.nominalPower * durations[p];
@@ -153,11 +189,30 @@ IntervalSimulator::runOracle(const PhaseSoA &soa,
 
 SimResult
 IntervalSimulator::run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
-                       Pmu &pmu, EteeMemo *memo) const
+                       Pmu &pmu, EteeMemo *memo,
+                       SignalProbe *probe) const
 {
     checkMemo(memo);
     metricAdd(Metric::SimRunsPmu);
     SimResult result;
+
+    // The probe's per-phase frame averages over the phase's ticks
+    // (supply/nominal energy deltas divided by the duration), keeps
+    // the loss breakdown of the phase's last PDN evaluation (absent
+    // if the whole phase sat inside a C6 switch flow), and reports
+    // the mode configured at phase end. Mode-switch events arrive
+    // through the switch-flow observer as they happen.
+    size_t pi = 0;
+    Energy phaseSupplyStart;
+    Energy phaseNominalStart;
+    EteeResult lastEval;
+    bool hasEval = false;
+    if (probe) {
+        pmu.setSwitchObserver(
+            [probe, &pi](Time t, HybridMode target) {
+                probe->modeSwitch(pi, t, target);
+            });
+    }
 
     // Per-(phase, mode) evaluation cache: the platform state is
     // constant within a phase, so only 2 evaluations per phase are
@@ -191,10 +246,15 @@ IntervalSimulator::run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
 
     Time now;
     uint64_t switches_before = 0;
-    for (size_t pi = 0; pi < trace.phases().size(); ++pi) {
+    for (pi = 0; pi < trace.phases().size(); ++pi) {
         const TracePhase &phase = trace.phases()[pi];
         Time phase_start = now;
         Time phase_end = now + phase.duration;
+        if (probe) {
+            phaseSupplyStart = result.supplyEnergy;
+            phaseNominalStart = result.nominalEnergy;
+            hasEval = false;
+        }
 
         // Step times are derived from the phase start and an integer
         // tick count (one rounding each) rather than accumulated, so
@@ -224,17 +284,42 @@ IntervalSimulator::run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
                     const EteeResult &e = evaluate(pi, mode);
                     result.supplyEnergy += e.inputPower * rest;
                     result.nominalEnergy += e.nominalPower * rest;
+                    if (probe) {
+                        lastEval = e;
+                        hasEval = true;
+                    }
                 }
             } else {
                 const EteeResult &e = evaluate(pi, mode);
                 result.supplyEnergy += e.inputPower * step;
                 result.nominalEnergy += e.nominalPower * step;
+                if (probe) {
+                    lastEval = e;
+                    hasEval = true;
+                }
             }
             result.modeResidency[static_cast<size_t>(mode)] += step;
             now = next;
             ++tick_idx;
         }
+        if (probe) {
+            ProbeFrame f;
+            f.phase = pi;
+            f.start = phase_start;
+            f.duration = phase.duration;
+            f.supplyPowerW = inWatts(
+                (result.supplyEnergy - phaseSupplyStart) /
+                phase.duration);
+            f.nominalPowerW = inWatts(
+                (result.nominalEnergy - phaseNominalStart) /
+                phase.duration);
+            f.loss = hasEval ? &lastEval.loss : nullptr;
+            f.mode = static_cast<int>(pmu.configuredMode());
+            probe->samplePhase(f);
+        }
     }
+    if (probe)
+        pmu.setSwitchObserver({});
 
     result.duration = now;
     result.modeSwitches = pmu.switchFlow().switchCount() -

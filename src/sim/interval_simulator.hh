@@ -27,6 +27,8 @@
 namespace pdnspot
 {
 
+class SignalProbe;
+
 /**
  * Steps traces through PDN models with configurable resolution.
  *
@@ -36,6 +38,14 @@ namespace pdnspot
  * engine passes one memo per worker). The memo must have been built
  * for this simulator's (operating-point model, TDP) pair; results
  * are bit-identical with and without it.
+ *
+ * Every run method also takes an optional SignalProbe (obs/probe.hh)
+ * fed one frame per trace phase — average supply/nominal power, the
+ * loss breakdown, the active hybrid mode — plus mode-switch events
+ * on the PMU path. The probe is strictly observational: results are
+ * bit-identical probed and unprobed, the per-phase and SoA paths
+ * deliver identical frames, and an unbound probe costs one null
+ * check per phase.
  */
 class IntervalSimulator
 {
@@ -50,7 +60,8 @@ class IntervalSimulator
 
     /** Simulate a static PDN (no mode logic). */
     SimResult run(const PhaseTrace &trace, const PdnModel &pdn,
-                  EteeMemo *memo = nullptr) const;
+                  EteeMemo *memo = nullptr,
+                  SignalProbe *probe = nullptr) const;
 
     /**
      * Batched counterpart of the static run: each of the SoA's
@@ -65,7 +76,8 @@ class IntervalSimulator
      * non-PMU cell.
      */
     SimResult run(const PhaseSoA &soa, const PdnModel &pdn,
-                  EteeMemo *memo = nullptr) const;
+                  EteeMemo *memo = nullptr,
+                  SignalProbe *probe = nullptr) const;
 
     /**
      * Simulate FlexWatts under PMU control: the predictor sees the
@@ -74,7 +86,8 @@ class IntervalSimulator
      * counterpart of the oracle evaluation.
      */
     SimResult run(const PhaseTrace &trace, const FlexWattsPdn &pdn,
-                  Pmu &pmu, EteeMemo *memo = nullptr) const;
+                  Pmu &pmu, EteeMemo *memo = nullptr,
+                  SignalProbe *probe = nullptr) const;
 
     /**
      * Simulate FlexWatts with an oracle that knows each phase's best
@@ -83,7 +96,8 @@ class IntervalSimulator
      */
     SimResult runOracle(const PhaseTrace &trace,
                         const FlexWattsPdn &pdn,
-                        EteeMemo *memo = nullptr) const;
+                        EteeMemo *memo = nullptr,
+                        SignalProbe *probe = nullptr) const;
 
     /**
      * Batched oracle run: best mode and pinned-mode evaluation are
@@ -92,7 +106,8 @@ class IntervalSimulator
      * trace (see the static batched overload).
      */
     SimResult runOracle(const PhaseSoA &soa, const FlexWattsPdn &pdn,
-                        EteeMemo *memo = nullptr) const;
+                        EteeMemo *memo = nullptr,
+                        SignalProbe *probe = nullptr) const;
 
   private:
     PlatformState stateFor(const TracePhase &phase) const;

@@ -197,6 +197,39 @@ EOF
     cmp -s "$tmp/a.csv" "$tmp/b.csv" \
         || fail "observability flags perturbed the campaign CSV"
     ;;
+  probe_out_waveforms)
+    # --probe-out exports one waveform CSV per probed cell plus the
+    # Perfetto counter-track document, byte-identical at 1 and 8
+    # threads, without perturbing the campaign CSV.
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/a.csv" \
+        --threads 1 --probe-out "$tmp/probes1"
+    expect_err "wrote 4 waveforms"
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/b.csv" \
+        --threads 8 --probe-out "$tmp/probes8"
+    ls "$tmp/probes1"/*.csv >/dev/null 2>&1 \
+        || fail "--probe-out produced no waveform CSVs"
+    [ -s "$tmp/probes1/counters.json" ] \
+        || fail "--probe-out produced no counters.json"
+    grep -qF '"ph": "C"' "$tmp/probes1/counters.json" \
+        || fail "counters.json carries no counter events"
+    diff -r "$tmp/probes1" "$tmp/probes8" >/dev/null \
+        || fail "probe outputs differ between 1 and 8 threads"
+    run 0 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv"
+    cmp -s "$tmp/a.csv" "$tmp/c.csv" \
+        || fail "--probe-out perturbed the campaign CSV"
+    ;;
+  probe_out_no_probes)
+    # A spec with no probes section gets a warning, not an error.
+    run 0 "$spec_dir/sensitivity_campaign.json" -o "$tmp/c.csv" \
+        --probe-out "$tmp/probes"
+    expect_err "binds no probes"
+    ;;
+  probe_out_unwritable)
+    touch "$tmp/blocker"
+    run 1 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv" \
+        --probe-out "$tmp/blocker/probes"
+    expect_err "cannot create probe directory"
+    ;;
   quiet_log_level)
     run 0 "$spec_dir/paper_campaign.json" -o "$tmp/c.csv"
     expect_err "info: wrote"

@@ -1,8 +1,9 @@
 /**
  * @file
  * Golden-file regression net over the repo's byte-stable text
- * surfaces: campaign CSV export, trace CSV write, and the per-PDN
- * summary table. Each test renders a deterministic fixture and
+ * surfaces: campaign CSV export, trace CSV write, the run report,
+ * the per-PDN summary table, and the probe waveform CSV + Perfetto
+ * counter-track documents. Each test renders a deterministic fixture and
  * compares it byte for byte against a checked-in file under
  * tests/golden/ — any formatting or numeric drift in the promised
  * surfaces fails loudly instead of silently changing downstream
@@ -25,6 +26,8 @@
 #include "common/table.hh"
 #include "obs/metrics.hh"
 #include "obs/run_report.hh"
+#include "obs/waveform_io.hh"
+#include "pdnspot/platform.hh"
 #include "workload/trace_io.hh"
 #include "workload/trace_source.hh"
 #include "workload/trace_transform.hh"
@@ -145,6 +148,44 @@ TEST(GoldenFileTest, RunReport)
 
     checkGolden("run_report.json",
                 writeJson(canonicalizeRunReport(buildRunReport(in))));
+}
+
+/**
+ * The paper campaign's smallest cell (video-playback-trace on the
+ * fanless tablet, FlexWatts under PMU control), probed with every
+ * signal at full rate — the fixture behind the probe CSV and
+ * counter-track goldens.
+ */
+std::shared_ptr<const Waveform>
+goldenWaveform()
+{
+    CampaignSpec spec;
+    spec.traces.push_back(
+        TraceSpec::library("video-playback-trace", 42));
+    spec.platforms = {fanlessTabletPreset()};
+    spec.pdns = {PdnKind::FlexWatts};
+    spec.mode = SimMode::Pmu;
+    spec.probes.push_back(ProbeSpec());
+
+    ParallelRunner serial(1);
+    CampaignResult result = CampaignEngine(serial).run(spec);
+    return result.cells.at(0).waveform;
+}
+
+TEST(GoldenFileTest, ProbeWaveformCsv)
+{
+    std::shared_ptr<const Waveform> waveform = goldenWaveform();
+    ASSERT_NE(waveform, nullptr);
+    checkGolden("probe_waveform.csv", writeWaveformCsv(*waveform));
+}
+
+TEST(GoldenFileTest, ProbeCounterTracks)
+{
+    std::shared_ptr<const Waveform> waveform = goldenWaveform();
+    ASSERT_NE(waveform, nullptr);
+    checkGolden("probe_counters.json",
+                writeJson(counterTrackDocument(
+                    waveformCounterEvents(*waveform))));
 }
 
 TEST(GoldenFileTest, SummaryTable)

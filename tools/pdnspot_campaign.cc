@@ -13,8 +13,10 @@
  * Usage: pdnspot_campaign <spec.json> [options]
  *   -o <path>        write the campaign CSV to <path> ("-" = stdout,
  *                    the default)
- *   --summary        print the per-PDN summary table and the memo
- *                    probe/hit/miss counters to stderr
+ *   --summary        print the per-PDN summary table, p50/p95/p99
+ *                    lines for every histogram metric
+ *                    (histogramQuantile, obs/metrics.hh), and the
+ *                    memo probe/hit/miss counters to stderr
  *   --battery-wh <x> battery capacity for the summary (default 50)
  *   --threads <n>    thread count (overrides PDNSPOT_THREADS)
  *   --no-memo        disable the per-worker evaluation memo
@@ -33,7 +35,19 @@
  *   --trace-events <path>
  *                    record begin/end spans and write them as
  *                    Chrome/Perfetto trace-event JSON (open in
- *                    https://ui.perfetto.dev or chrome://tracing)
+ *                    https://ui.perfetto.dev or chrome://tracing).
+ *                    The timeline is stamped with the shard identity
+ *                    (pid = shard index, process_name "shard k/n"),
+ *                    so per-shard files merge without colliding
+ *   --probe-out <dir>
+ *                    export the waveforms captured by the spec's
+ *                    "probes" section (obs/probe.hh): one columnar
+ *                    CSV per probed cell (<dir>/<cell>.csv,
+ *                    obs/waveform_io.hh) plus <dir>/counters.json,
+ *                    a Perfetto counter-track document; the counter
+ *                    tracks also merge into --trace-events when both
+ *                    are given. Without this flag the spec's probes
+ *                    are ignored entirely (the zero-overhead path)
  *   --progress       rate-limited cells/sec + ETA heartbeat on
  *                    stderr; auto-disabled when stderr is not a TTY
  *   --quiet          drop info-level messages (same as
@@ -51,12 +65,16 @@
  *
  * None of the observability flags perturb results: the campaign CSV
  * is byte-identical with and without --report/--trace-events/
- * --progress (check.sh verifies this at 1 and 8 threads).
+ * --progress/--probe-out (check.sh verifies this at 1 and 8
+ * threads), and the probe outputs themselves are byte-identical at
+ * any thread count (cells are delivered in canonical order and all
+ * probe timestamps are simulated time).
  */
 
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -70,6 +88,7 @@
 #include "config/campaign_config.hh"
 #include "obs/run_report.hh"
 #include "obs/span_trace.hh"
+#include "obs/waveform_io.hh"
 
 namespace
 {
@@ -82,6 +101,7 @@ constexpr const char *usageText =
     "                        [--no-memo] [--trace-dir <dir>]\n"
     "                        [--shard k/n] [--report out.json]\n"
     "                        [--trace-events out.trace.json]\n"
+    "                        [--probe-out dir]\n"
     "                        [--progress] [--quiet]\n"
     "                        [--log-level info|warn|silent]\n"
     "                        [--dry-run] [--echo-spec]\n"
@@ -103,6 +123,7 @@ struct Options
     size_t shardCount = 1;
     std::string reportPath;
     std::string traceEventsPath;
+    std::string probeOutDir;
     bool progress = false;
     std::optional<LogLevel> logLevel;
     bool dryRun = false;
@@ -230,6 +251,10 @@ parseArgs(int argc, char **argv)
             opts.traceEventsPath = value(i, "--trace-events");
             if (opts.traceEventsPath.empty())
                 usageError("--trace-events needs a path");
+        } else if (arg == "--probe-out") {
+            opts.probeOutDir = value(i, "--probe-out");
+            if (opts.probeOutDir.empty())
+                usageError("--probe-out needs a directory");
         } else if (arg == "--progress") {
             opts.progress = true;
         } else if (arg == "--quiet") {
@@ -393,14 +418,19 @@ class ProgressMeter
     bool _printed = false;
 };
 
-/** Streams CSV rows and feeds the summary builder in one pass. */
+/**
+ * Streams CSV rows, feeds the summary builder, and exports probe
+ * waveforms (--probe-out) in one pass. Cells arrive in canonical
+ * order regardless of thread count, so the waveform files and the
+ * accumulated counter events are deterministic.
+ */
 class CliSink : public CampaignSink
 {
   public:
     CliSink(std::ostream &os, bool summarize, bool header,
-            ProgressMeter *progress)
+            ProgressMeter *progress, std::string probeDir)
         : _csv(os, header), _summarize(summarize),
-          _progress(progress)
+          _progress(progress), _probeDir(std::move(probeDir))
     {}
 
     void
@@ -408,6 +438,8 @@ class CliSink : public CampaignSink
     {
         if (_summarize)
             _builder.add(cell);
+        if (cell.waveform && !_probeDir.empty())
+            exportWaveform(*cell.waveform);
         _csv.consume(std::move(cell));
         if (_progress)
             _progress->tick(_csv.rows());
@@ -416,10 +448,41 @@ class CliSink : public CampaignSink
     size_t rows() const { return _csv.rows(); }
     const CampaignSummaryBuilder &builder() const { return _builder; }
 
+    /** Waveform CSV files written so far. */
+    size_t waveforms() const { return _waveforms; }
+
+    /** Perfetto counter events from every probed cell, in canonical
+     * cell order. */
+    const std::vector<JsonValue> &counterEvents() const
+    {
+        return _counterEvents;
+    }
+
   private:
+    void
+    exportWaveform(const Waveform &waveform)
+    {
+        std::string path =
+            _probeDir + "/" + waveform.cellName() + ".csv";
+        std::ofstream file(path, std::ios::binary);
+        if (!file)
+            fatal(strprintf("cannot open waveform file \"%s\"",
+                            path.c_str()));
+        file << writeWaveformCsv(waveform);
+        file.close();
+        if (!file)
+            fatal(strprintf("error writing \"%s\"", path.c_str()));
+        for (JsonValue &event : waveformCounterEvents(waveform))
+            _counterEvents.push_back(std::move(event));
+        ++_waveforms;
+    }
+
     CampaignCsvSink _csv;
     bool _summarize;
     ProgressMeter *_progress;
+    std::string _probeDir;
+    size_t _waveforms = 0;
+    std::vector<JsonValue> _counterEvents;
     CampaignSummaryBuilder _builder;
 };
 
@@ -459,6 +522,18 @@ runCli(const Options &opts)
 
     CampaignSpec spec =
         loadCampaignSpecFile(opts.specPath, opts.traceDir);
+
+    // Probes only run when an output surface asks for them: without
+    // --probe-out the spec's probes are dropped here, so the engine
+    // takes the unprobed fast path and existing invocations are
+    // untouched byte for byte.
+    if (opts.probeOutDir.empty()) {
+        spec.probes.clear();
+    } else if (spec.probes.empty()) {
+        warn(strprintf("--probe-out given but \"%s\" binds no "
+                       "probes; no waveforms will be captured",
+                       opts.specPath.c_str()));
+    }
 
     // Shard k/n covers cells [(k-1)*cells/n, k*cells/n): contiguous
     // in the canonical order, disjoint, and jointly covering.
@@ -502,6 +577,22 @@ runCli(const Options &opts)
             fatal(strprintf("cannot open trace-events file \"%s\"",
                             opts.traceEventsPath.c_str()));
     }
+    std::ofstream countersFile;
+    if (!opts.probeOutDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.probeOutDir, ec);
+        if (ec)
+            fatal(strprintf("cannot create probe directory \"%s\": "
+                            "%s",
+                            opts.probeOutDir.c_str(),
+                            ec.message().c_str()));
+        std::string countersPath =
+            opts.probeOutDir + "/counters.json";
+        countersFile.open(countersPath, std::ios::binary);
+        if (!countersFile)
+            fatal(strprintf("cannot open counter file \"%s\"",
+                            countersPath.c_str()));
+    }
 
     std::optional<ParallelRunner> ownRunner;
     if (opts.threads)
@@ -520,13 +611,14 @@ runCli(const Options &opts)
     }
     std::ostream &out = opts.outPath != "-" ? file : std::cout;
 
-    // Observability installs: metrics whenever a report is wanted,
-    // spans whenever trace events are. Both are pure observers — the
-    // campaign CSV stays byte-identical with or without them.
+    // Observability installs: metrics whenever a report or the
+    // summary's percentile lines are wanted, spans whenever trace
+    // events are. All are pure observers — the campaign CSV stays
+    // byte-identical with or without them.
     const bool wantReport = !opts.reportPath.empty();
     std::optional<MetricsRegistry> registry;
     std::optional<MetricsInstallation> metricsInstall;
-    if (wantReport) {
+    if (wantReport || opts.summary) {
         registry.emplace();
         metricsInstall.emplace(*registry);
     }
@@ -540,12 +632,14 @@ runCli(const Options &opts)
     ProgressMeter progress(opts.progress, endCell - firstCell);
     CliSink sink(out, opts.summary || wantReport,
                  opts.shardIndex == 1,
-                 opts.progress ? &progress : nullptr);
+                 opts.progress ? &progress : nullptr,
+                 opts.probeOutDir);
     CampaignRunStats stats;
     auto runStart = std::chrono::steady_clock::now();
     engine.run(spec, sink, firstCell, endCell, &stats);
     std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - runStart;
+    metricsInstall.reset(); // quiesced: snapshots are final now
 
     if (opts.outPath != "-") {
         file.close();
@@ -556,9 +650,25 @@ runCli(const Options &opts)
                          opts.outPath.c_str()));
     }
 
+    if (!opts.probeOutDir.empty()) {
+        countersFile << writeJson(
+            counterTrackDocument(sink.counterEvents()));
+        countersFile.close();
+        if (!countersFile)
+            fatal(strprintf("error writing \"%s/counters.json\"",
+                            opts.probeOutDir.c_str()));
+        inform(strprintf("wrote %zu waveforms to %s",
+                         sink.waveforms(),
+                         opts.probeOutDir.c_str()));
+    }
+
     if (spans) {
         spanInstall.reset(); // quiesce before serializing
-        traceEventsFile << spans->writeTraceEvents();
+        TraceEventExport stamp;
+        stamp.shardIndex = opts.shardIndex;
+        stamp.shardCount = opts.shardCount;
+        stamp.extraEvents = sink.counterEvents();
+        traceEventsFile << writeJson(spans->traceEventsJson(stamp));
         traceEventsFile.close();
         if (!traceEventsFile)
             fatal(strprintf("error writing \"%s\"",
@@ -571,7 +681,6 @@ runCli(const Options &opts)
     }
 
     if (wantReport) {
-        metricsInstall.reset();
         RunReportInputs rin;
         rin.specPath = opts.specPath;
         rin.specText = readFileBytes(opts.specPath);
@@ -600,6 +709,17 @@ runCli(const Options &opts)
 
     if (opts.summary) {
         printSummary(sink.builder(), opts.batteryWh);
+        for (const MetricSnapshot &m : registry->snapshot()) {
+            if (m.kind != MetricKind::Histogram || m.count == 0)
+                continue;
+            std::cerr << strprintf(
+                "%s: p50 %.3g, p95 %.3g, p99 %.3g, max %.3g over "
+                "%llu samples\n",
+                m.name.c_str(), histogramQuantile(m, 0.50),
+                histogramQuantile(m, 0.95),
+                histogramQuantile(m, 0.99), m.max,
+                static_cast<unsigned long long>(m.count));
+        }
         if (opts.memo)
             std::cerr << strprintf(
                 "memo: %llu probes, %llu hits, %llu misses "
