@@ -38,7 +38,8 @@ if ! grep -q '^benchmark_DIR:PATH=/' "$build_dir/CMakeCache.txt"; then
 fi
 
 cmake --build "$build_dir" -j "$(nproc)" \
-    --target bench_campaign bench_obs bench_parallel_sweep bench_diff
+    --target bench_campaign bench_fleet bench_obs bench_parallel_sweep \
+    bench_diff
 
 export PDNSPOT_GIT_REV="${PDNSPOT_GIT_REV:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 min_time="${PDNSPOT_BENCH_MIN_TIME:-0.1}"
@@ -49,11 +50,16 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 # The trajectory benches: campaign throughput (cells/sec, ns/phase,
-# memo hit rate), the memo on/off timing pair, the sweep fan-out,
-# and the observability overhead pairs (metricAdd/SpanScope disabled
-# vs enabled, simulator probed vs unbound).
+# memo hit rate), the memo on/off timing pair, fleet stepping
+# throughput (sessions/sec, ns/session-bucket at 10k-1M populations),
+# the sweep fan-out, and the observability overhead pairs
+# (metricAdd/SpanScope disabled vs enabled, simulator probed vs
+# unbound).
 "$build_dir"/bench/bench_campaign --json "$tmp/campaign.json" \
     --benchmark_filter='campaignThroughput|campaignMemo' \
+    --benchmark_min_time="$min_time" >/dev/null
+"$build_dir"/bench/bench_fleet --json "$tmp/fleet.json" \
+    --benchmark_filter='fleetThroughput' \
     --benchmark_min_time="$min_time" >/dev/null
 "$build_dir"/bench/bench_parallel_sweep --json "$tmp/sweep.json" \
     --benchmark_filter='sweepSerial|sweepParallel/threads:8' \
@@ -75,7 +81,8 @@ for f in BENCH_*.json; do
 done
 
 "$build_dir"/tools/bench_diff --merge "BENCH_${next}.json" \
-    "$tmp/campaign.json" "$tmp/sweep.json" "$tmp/obs.json"
+    "$tmp/campaign.json" "$tmp/fleet.json" "$tmp/sweep.json" \
+    "$tmp/obs.json"
 echo "bench.sh: wrote BENCH_${next}.json"
 
 prev="BENCH_$((next - 1)).json"

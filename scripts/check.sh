@@ -128,6 +128,25 @@ test "$waveforms" -gt 0
 echo "check.sh: probe smoke green" \
     "($waveforms waveforms in $build_dir/paper_probes)"
 
+# Fleet smoke: the population simulator's determinism contract at
+# the binary surface — the example study's aggregate CSV must be
+# byte-identical at 1 and 8 threads — plus the million-session spec
+# as a scale check. The summary and aggregates land in the build dir
+# for CI to upload next to the campaign report.
+"$build_dir"/tools/pdnspot_fleet examples/specs/fleet_study.json \
+    --threads 1 -o "$smoke_dir/fleet1.csv"
+"$build_dir"/tools/pdnspot_fleet examples/specs/fleet_study.json \
+    --threads 8 -o "$build_dir/fleet_aggregates.csv" --summary \
+    2>"$build_dir/fleet_summary.txt"
+cmp "$smoke_dir/fleet1.csv" "$build_dir/fleet_aggregates.csv"
+grep -q "fleet: 4000 sessions in 2 cohorts" \
+    "$build_dir/fleet_summary.txt"
+"$build_dir"/tools/pdnspot_fleet examples/specs/fleet_million.json \
+    --threads 8 -o /dev/null --summary 2>"$smoke_dir/million.txt"
+grep -q "fleet: 1000000 sessions" "$smoke_dir/million.txt"
+echo "check.sh: fleet smoke green" \
+    "(summary + aggregates in $build_dir)"
+
 # Benchmark trajectory: run the campaign/sweep benches in --json
 # mode, merge the next BENCH_<n>.json snapshot at the repo root, and
 # diff it against the previous one — a >20% regression on cells/sec,

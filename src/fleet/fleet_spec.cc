@@ -1,0 +1,81 @@
+#include "fleet/fleet_spec.hh"
+
+#include <cmath>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+
+uint64_t
+FleetSpec::sessionCount() const
+{
+    uint64_t total = 0;
+    for (const FleetCohort &cohort : cohorts)
+        total += cohort.count;
+    return total;
+}
+
+uint64_t
+FleetSpec::bucketCount() const
+{
+    double buckets = std::ceil(inSeconds(horizon) / inSeconds(bucket));
+    return buckets > 0.0 ? static_cast<uint64_t>(buckets) : 0;
+}
+
+void
+FleetSpec::validate() const
+{
+    if (cohorts.empty())
+        fatal("FleetSpec: at least one cohort required");
+    if (bucket <= seconds(0.0))
+        fatal("FleetSpec: non-positive bucket");
+    if (horizon < bucket)
+        fatal("FleetSpec: horizon shorter than one bucket");
+    if (tick <= seconds(0.0))
+        fatal("FleetSpec: non-positive tick");
+    if (!std::isfinite(stormK) || stormK <= 0.0)
+        fatal("FleetSpec: storm_k must be positive and finite");
+    if (bucketCount() > 10000000)
+        fatal(strprintf("FleetSpec: horizon spans %llu buckets "
+                        "(limit 10000000); coarsen the bucket",
+                        static_cast<unsigned long long>(
+                            bucketCount())));
+
+    for (size_t i = 0; i < cohorts.size(); ++i) {
+        const FleetCohort &c = cohorts[i];
+        if (c.name.empty())
+            fatal("FleetSpec: unnamed cohort");
+        if (!csvFieldSafe(c.name))
+            fatal(strprintf("FleetSpec: cohort name \"%s\" contains "
+                            "CSV metacharacters",
+                            c.name.c_str()));
+        for (size_t j = i + 1; j < cohorts.size(); ++j) {
+            if (c.name == cohorts[j].name)
+                fatal(strprintf("FleetSpec: duplicate cohort name "
+                                "\"%s\"",
+                                c.name.c_str()));
+        }
+        if (c.count < 1)
+            fatal(strprintf("FleetSpec: cohort \"%s\" has zero "
+                            "sessions",
+                            c.name.c_str()));
+        c.trace.validate();
+        if (!std::isfinite(c.batteryWh) || c.batteryWh <= 0.0)
+            fatal(strprintf("FleetSpec: cohort \"%s\" battery_wh "
+                            "must be positive and finite",
+                            c.name.c_str()));
+        if (!std::isfinite(c.batterySpread) || c.batterySpread < 0.0 ||
+            c.batterySpread >= 1.0)
+            fatal(strprintf("FleetSpec: cohort \"%s\" battery_spread "
+                            "must lie in [0, 1)",
+                            c.name.c_str()));
+        if (c.startJitter < seconds(0.0))
+            fatal(strprintf("FleetSpec: cohort \"%s\" has a negative "
+                            "start jitter",
+                            c.name.c_str()));
+    }
+}
+
+} // namespace pdnspot

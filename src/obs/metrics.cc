@@ -95,6 +95,37 @@ struct MetricsRegistry::ThreadBuffer
     std::vector<HistogramCell> histograms;
 };
 
+size_t
+histogramBucketIndex(double value)
+{
+    if (!(value >= 1.0))
+        return 0;
+    int exp = std::ilogb(value);
+    return std::min(MetricsRegistry::histogramBuckets - 1,
+                    static_cast<size_t>(exp) + 1);
+}
+
+void
+histogramObserve(MetricSnapshot &snapshot, double value)
+{
+    snapshot.kind = MetricKind::Histogram;
+    if (snapshot.count == 0) {
+        snapshot.min = snapshot.max = value;
+    } else {
+        if (value < snapshot.min)
+            snapshot.min = value;
+        if (value > snapshot.max)
+            snapshot.max = value;
+    }
+    ++snapshot.count;
+    snapshot.value += value;
+
+    size_t bucket = histogramBucketIndex(value);
+    if (snapshot.buckets.size() <= bucket)
+        snapshot.buckets.resize(bucket + 1, 0);
+    ++snapshot.buckets[bucket];
+}
+
 void
 MetricsRegistry::HistogramCell::observe(double value)
 {
@@ -108,14 +139,7 @@ MetricsRegistry::HistogramCell::observe(double value)
     }
     ++count;
     sum += value;
-
-    size_t bucket = 0;
-    if (value >= 1.0) {
-        int exp = std::ilogb(value);
-        bucket = std::min(histogramBuckets - 1,
-                          static_cast<size_t>(exp) + 1);
-    }
-    ++buckets[bucket];
+    ++buckets[histogramBucketIndex(value)];
 }
 
 void

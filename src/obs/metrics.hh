@@ -114,6 +114,27 @@ struct MetricSnapshot
 double histogramQuantile(const MetricSnapshot &snapshot, double q);
 
 /**
+ * Log2 bucket index for a histogram sample: bucket 0 holds values
+ * below 1.0, bucket i covers [2^(i-1), 2^i), the last bucket is
+ * open-ended. This is the exact bucketing the registry applies, so
+ * standalone snapshots built with histogramObserve interoperate with
+ * histogramQuantile and the run-report serialization.
+ */
+size_t histogramBucketIndex(double value);
+
+/**
+ * Accumulate one sample into a standalone histogram snapshot:
+ * count/sum/min/max plus the log2 bucket counts, matching what a
+ * registry-held histogram would produce for the same samples. Lets
+ * subsystems (the fleet aggregator's battery-life distributions)
+ * build distribution snapshots outside a registry and still print
+ * them via histogramQuantile. Sets the snapshot's kind to Histogram
+ * and grows its buckets vector as needed (trailing zero buckets stay
+ * trimmed, matching MetricsRegistry::snapshot()).
+ */
+void histogramObserve(MetricSnapshot &snapshot, double value);
+
+/**
  * A registry instance. The well-known Metric enum is pre-registered;
  * further metrics can be registered by name at any time (ids are
  * dense and stable for the registry's lifetime). Thread-side

@@ -145,7 +145,7 @@ buildRunReport(const RunReportInputs &in)
     doc.emplace_back("schema", str(runReportSchema));
 
     std::vector<Member> tool;
-    tool.emplace_back("name", str("pdnspot_campaign"));
+    tool.emplace_back("name", str(in.toolName));
     tool.emplace_back("version", str(toolVersion()));
     tool.emplace_back("git_rev", str(gitRevision()));
     doc.emplace_back("tool", JsonValue::makeObject(std::move(tool)));
@@ -204,6 +204,9 @@ buildRunReport(const RunReportInputs &in)
         doc.emplace_back("summaries",
                          JsonValue::makeObject(std::move(block)));
     }
+
+    for (const Member &m : in.extra)
+        doc.push_back(m);
 
     return JsonValue::makeObject(std::move(doc));
 }

@@ -61,9 +61,12 @@ std::string hostName();
  */
 std::string fnv1a64Hex(const std::string &text);
 
-/** Everything one pdnspot_campaign run feeds into its report. */
+/** Everything one tool run feeds into its report. */
 struct RunReportInputs
 {
+    /** Emitting binary's name (the "tool.name" member). */
+    std::string toolName = "pdnspot_campaign";
+
     std::string specPath;  ///< as given on the command line
     std::string specText;  ///< raw spec file bytes (hashed)
     JsonValue specEcho;    ///< parsed spec document
@@ -85,6 +88,13 @@ struct RunReportInputs
     double batteryWh = 0.0;
 
     const MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Tool-specific top-level members appended after the standard
+     * ones (e.g. pdnspot_fleet's "fleet" aggregate block). Pass
+     * through canonicalizeRunReport unchanged.
+     */
+    std::vector<JsonValue::Member> extra;
 };
 
 /** Assemble the pdnspot-report-1 document. */

@@ -5,6 +5,20 @@
 namespace pdnspot
 {
 
+Time
+drainTime(Energy remaining, Power draw)
+{
+    if (draw <= watts(0.0))
+        fatal("drainTime: non-positive draw");
+    return remaining / draw;
+}
+
+double
+drainHours(Energy remaining, Power draw)
+{
+    return inSeconds(drainTime(remaining, draw)) / 3600.0;
+}
+
 BatteryModel::BatteryModel(Energy capacity)
     : _capacity(capacity)
 {
@@ -15,9 +29,7 @@ BatteryModel::BatteryModel(Energy capacity)
 Time
 BatteryModel::life(Power average_power) const
 {
-    if (average_power <= watts(0.0))
-        fatal("BatteryModel: non-positive average power");
-    return _capacity / average_power;
+    return drainTime(_capacity, average_power);
 }
 
 double

@@ -11,6 +11,19 @@
 namespace pdnspot
 {
 
+/**
+ * Runtime until a store of `remaining` joules is exhausted by a
+ * constant `draw` — the SoC-integration step shared by
+ * BatteryModel::life (full capacity, campaign summaries) and the
+ * fleet engine's per-bucket time-to-empty accounting (partial SoC).
+ * fatal() on non-positive draw: callers gate zero-power phases
+ * before asking for a drain time.
+ */
+Time drainTime(Energy remaining, Power draw);
+
+/** drainTime in hours, for reporting. */
+double drainHours(Energy remaining, Power draw);
+
 /** A simple capacity/average-power battery-life model. */
 class BatteryModel
 {

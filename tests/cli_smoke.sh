@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Script-driven smoke tests for the pdnspot_campaign CLI, registered
-# one case per CTest test (tests/CMakeLists.txt). Each case asserts
-# the exit code and the relevant stdout/stderr fragment for a CLI
-# surface the GoogleTest suites cannot reach: argv parsing, usage
-# errors, spec-error reporting, the listing commands, and --dry-run
-# transform provenance.
+# Script-driven smoke tests for the pdnspot_campaign and
+# pdnspot_fleet CLIs, registered one case per CTest test
+# (tests/CMakeLists.txt). Each case asserts the exit code and the
+# relevant stdout/stderr fragment for a CLI surface the GoogleTest
+# suites cannot reach: argv parsing, usage errors, spec-error
+# reporting, the listing commands, and --dry-run provenance. The
+# fleet_* cases expect the pdnspot_fleet binary as the tool under
+# test; everything else expects pdnspot_campaign.
 #
-# Usage: cli_smoke.sh <pdnspot_campaign-binary> <case> <spec-dir> \
+# Usage: cli_smoke.sh <tool-binary> <case> <spec-dir> \
 #            [bench_diff-binary]
 
 set -u
@@ -244,6 +246,43 @@ EOF
     fi
     run 2 "$spec_dir/paper_campaign.json" --log-level verbose
     expect_err "--log-level must be info, warn or silent"
+    ;;
+  fleet_usage)
+    run 2
+    expect_err "missing spec file"
+    expect_err "usage: pdnspot_fleet"
+    ;;
+  fleet_usage_bad_option)
+    run 2 "$spec_dir/fleet_study.json" --frobnicate
+    expect_err 'unknown option "--frobnicate"'
+    ;;
+  fleet_bad_spec_position)
+    # A fleet spec whose only problem sits at line 3: the error must
+    # carry the file:line:col position of the offending value.
+    cat >"$tmp/bad_fleet.json" <<'EOF'
+{
+  "cohorts": [
+    {"name": "a", "count": 5, "platform": "nope",
+     "trace": {"library": "bursty-compute", "seed": 42}}]
+}
+EOF
+    run 1 "$tmp/bad_fleet.json"
+    expect_err "bad_fleet.json:3:"
+    expect_err 'unknown platform preset "nope"'
+    ;;
+  fleet_summary)
+    # The example study end to end: population + cohort shape lines,
+    # death counts, the distribution quantiles, and the promised
+    # aggregate-CSV header.
+    run 0 "$spec_dir/fleet_study.json" --summary -o "$tmp/f.csv"
+    expect_err "fleet: 4000 sessions in 2 cohorts"
+    expect_err 'cohort "tablets"'
+    expect_err "deaths: "
+    expect_err "battery life (h): "
+    expect_err "time to empty (h): "
+    head -n 1 "$tmp/f.csv" | grep -qF \
+        "bucket,t_s,sessions_alive,supply_power_w,energy_j,mode_switches,deaths,storm" \
+        || fail "aggregate CSV header drifted"
     ;;
   *)
     echo "cli_smoke: unknown case \"$case_name\"" >&2

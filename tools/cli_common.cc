@@ -1,0 +1,125 @@
+#include "cli_common.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/parallel.hh"
+#include "obs/run_report.hh"
+
+namespace pdnspot
+{
+namespace cli
+{
+
+void
+usageError(const ToolInfo &tool, const std::string &message)
+{
+    std::cerr << tool.name << ": " << message << "\n" << tool.usage;
+    std::exit(2);
+}
+
+void
+printVersion(const ToolInfo &tool)
+{
+    std::cout << tool.name << " " << toolVersion() << " (git "
+              << gitRevision() << ")\n";
+}
+
+std::optional<double>
+parseDouble(const std::string &v)
+{
+    double out = 0.0;
+    const char *end = v.data() + v.size();
+    auto [ptr, ec] = std::from_chars(v.data(), end, out);
+    if (ec != std::errc() || ptr != end)
+        return std::nullopt;
+    return out;
+}
+
+unsigned
+parseThreads(const ToolInfo &tool, const std::string &v)
+{
+    std::optional<long> parsed = parseInt<long>(v);
+    long n = parsed.value_or(0);
+    if (!parsed || n < 1)
+        usageError(tool, "--threads must be a positive integer, "
+                         "got \"" +
+                             v + "\"");
+    if (n > static_cast<long>(ParallelRunner::maxThreadCount)) {
+        std::cerr << tool.name << ": --threads " << n
+                  << " capped at " << ParallelRunner::maxThreadCount
+                  << "\n";
+        n = ParallelRunner::maxThreadCount;
+    }
+    return static_cast<unsigned>(n);
+}
+
+LogLevel
+parseLogLevel(const ToolInfo &tool, const std::string &v)
+{
+    if (v != "info" && v != "warn" && v != "silent")
+        usageError(tool, "--log-level must be info, warn or silent, "
+                         "got \"" +
+                             v + "\"");
+    return logLevelFromString(v);
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal(strprintf("cannot read \"%s\"", path.c_str()));
+    std::ostringstream out;
+    out << in.rdbuf();
+    return std::move(out).str();
+}
+
+ProgressMeter::ProgressMeter(const ToolInfo &tool, const char *unit,
+                             bool enabled, size_t total)
+    : _name(tool.name), _unit(unit),
+      _enabled(enabled && isatty(fileno(stderr)) == 1),
+      _total(total), _start(std::chrono::steady_clock::now()),
+      _lastPrint(_start)
+{}
+
+ProgressMeter::~ProgressMeter()
+{
+    if (_printed)
+        std::cerr << "\n";
+}
+
+void
+ProgressMeter::tick(size_t done)
+{
+    if (!_enabled)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    if (done < _total &&
+        now - _lastPrint < std::chrono::milliseconds(500))
+        return;
+    _lastPrint = now;
+    std::chrono::duration<double> elapsed = now - _start;
+    double rate =
+        elapsed.count() > 0.0
+            ? static_cast<double>(done) / elapsed.count()
+            : 0.0;
+    double eta = rate > 0.0
+                     ? static_cast<double>(_total - done) / rate
+                     : 0.0;
+    // \r + trailing pad rewrites the line in place.
+    std::cerr << strprintf(
+        "\r%s: %zu/%zu %s (%.0f%%), %.0f %s/s, ETA %.0fs   ", _name,
+        done, _total, _unit,
+        _total ? 100.0 * static_cast<double>(done) /
+                     static_cast<double>(_total)
+               : 100.0,
+        rate, _unit, eta);
+    _printed = true;
+}
+
+} // namespace cli
+} // namespace pdnspot

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Plumbing shared by the pdnspot CLI tools (pdnspot_campaign,
+ * pdnspot_fleet): strict locale-independent number parsing, the
+ * usage/exit-2 convention, --version/--threads/--log-level handling,
+ * the rate-limited TTY progress heartbeat, and small file helpers.
+ *
+ * Keeping these in one place pins the conventions the smoke tests
+ * rely on — exit 2 for usage errors with the usage text on stderr,
+ * exit 1 for ConfigError, "name VERSION (git REV)" for --version,
+ * thread counts capped at ParallelRunner::maxThreadCount with a
+ * warning — so every tool behaves identically and a fix lands in all
+ * of them.
+ */
+
+#ifndef PDNSPOT_TOOLS_CLI_COMMON_HH
+#define PDNSPOT_TOOLS_CLI_COMMON_HH
+
+#include <charconv>
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace pdnspot
+{
+namespace cli
+{
+
+/** The identity one tool passes to every shared helper. */
+struct ToolInfo
+{
+    const char *name;  ///< binary name, prefixes every message
+    const char *usage; ///< full usage text, printed on exit 2
+};
+
+/** Print "tool: message" + the usage text to stderr; exit 2. */
+[[noreturn]] void usageError(const ToolInfo &tool,
+                             const std::string &message);
+
+/** Print "name VERSION (git REV)" to stdout (the --version line). */
+void printVersion(const ToolInfo &tool);
+
+/**
+ * Locale-independent strict number parses (the src/common/csv.cc:31
+ * policy). std::stod honors the global C locale, so under a
+ * comma-decimal locale "3.5" stops at the dot and "3,5" parses as
+ * 3.5 — the same command line means different runs on different
+ * machines. std::from_chars always uses the C grammar; requiring the
+ * full string also rejects trailing junk that std::stod's pos check
+ * was emulating.
+ */
+std::optional<double> parseDouble(const std::string &v);
+
+template <typename Int>
+std::optional<Int>
+parseInt(const std::string &v)
+{
+    Int out = 0;
+    const char *end = v.data() + v.size();
+    auto [ptr, ec] = std::from_chars(v.data(), end, out);
+    if (ec != std::errc() || ptr != end)
+        return std::nullopt;
+    return out;
+}
+
+/**
+ * Bind a --threads value: a positive integer, capped at
+ * ParallelRunner::maxThreadCount with a warning on stderr; anything
+ * else is a usage error.
+ */
+unsigned parseThreads(const ToolInfo &tool, const std::string &v);
+
+/** Bind a --log-level value (info, warn or silent). */
+LogLevel parseLogLevel(const ToolInfo &tool, const std::string &v);
+
+/** Read a file into a string; fatal() when unreadable. */
+std::string readFileBytes(const std::string &path);
+
+/**
+ * The --progress heartbeat: a rate-limited work/sec + ETA line,
+ * rewritten in place on stderr. Constructed disabled when stderr is
+ * not a TTY (a piped stderr would accumulate control characters, and
+ * there is no one watching). Purely observational: it only counts
+ * consumed units, never touches them.
+ */
+class ProgressMeter
+{
+  public:
+    /** `unit` is the work noun the line reports ("cells", ...). */
+    ProgressMeter(const ToolInfo &tool, const char *unit,
+                  bool enabled, size_t total);
+
+    ~ProgressMeter();
+
+    ProgressMeter(const ProgressMeter &) = delete;
+    ProgressMeter &operator=(const ProgressMeter &) = delete;
+
+    void tick(size_t done);
+
+  private:
+    const char *_name;
+    const char *_unit;
+    bool _enabled;
+    size_t _total;
+    std::chrono::steady_clock::time_point _start;
+    std::chrono::steady_clock::time_point _lastPrint;
+    bool _printed = false;
+};
+
+} // namespace cli
+} // namespace pdnspot
+
+#endif // PDNSPOT_TOOLS_CLI_COMMON_HH

@@ -71,18 +71,16 @@
  * probe timestamps are simulated time).
  */
 
-#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
-#include <unistd.h>
 
 #include "campaign/campaign_engine.hh"
+#include "cli_common.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "config/campaign_config.hh"
@@ -108,6 +106,8 @@ constexpr const char *usageText =
     "       pdnspot_campaign --list-traces [--seed <n>]\n"
     "       pdnspot_campaign --list-presets\n"
     "       pdnspot_campaign --version\n";
+
+constexpr cli::ToolInfo tool{"pdnspot_campaign", usageText};
 
 /** Parsed command line. */
 struct Options
@@ -136,41 +136,7 @@ struct Options
 [[noreturn]] void
 usageError(const std::string &message)
 {
-    std::cerr << "pdnspot_campaign: " << message << "\n"
-              << usageText;
-    std::exit(2);
-}
-
-/**
- * Locale-independent strict number parses (the src/common/csv.cc:31
- * policy). std::stod honors the global C locale, so under a
- * comma-decimal locale "3.5" stops at the dot and "3,5" parses as
- * 3.5 — the same command line means different campaigns on different
- * machines. std::from_chars always uses the C grammar; requiring the
- * full string also rejects trailing junk that std::stod's pos check
- * was emulating.
- */
-std::optional<double>
-parseDouble(const std::string &v)
-{
-    double out = 0.0;
-    const char *end = v.data() + v.size();
-    auto [ptr, ec] = std::from_chars(v.data(), end, out);
-    if (ec != std::errc() || ptr != end)
-        return std::nullopt;
-    return out;
-}
-
-template <typename Int>
-std::optional<Int>
-parseInt(const std::string &v)
-{
-    Int out = 0;
-    const char *end = v.data() + v.size();
-    auto [ptr, ec] = std::from_chars(v.data(), end, out);
-    if (ec != std::errc() || ptr != end)
-        return std::nullopt;
-    return out;
+    cli::usageError(tool, message);
 }
 
 Options
@@ -188,8 +154,7 @@ parseArgs(int argc, char **argv)
             std::cout << usageText;
             std::exit(0);
         } else if (arg == "--version") {
-            std::cout << "pdnspot_campaign " << toolVersion()
-                      << " (git " << gitRevision() << ")\n";
+            cli::printVersion(tool);
             std::exit(0);
         } else if (arg == "-o") {
             opts.outPath = value(i, "-o");
@@ -197,7 +162,7 @@ parseArgs(int argc, char **argv)
             opts.summary = true;
         } else if (arg == "--battery-wh") {
             std::string v = value(i, "--battery-wh");
-            std::optional<double> wh = parseDouble(v);
+            std::optional<double> wh = cli::parseDouble(v);
             // from_chars accepts "nan"/"inf"; neither is a battery.
             if (!wh || !std::isfinite(*wh) || !(*wh > 0.0))
                 usageError("--battery-wh must be a positive number, "
@@ -205,21 +170,8 @@ parseArgs(int argc, char **argv)
                            v + "\"");
             opts.batteryWh = *wh;
         } else if (arg == "--threads") {
-            std::string v = value(i, "--threads");
-            std::optional<long> parsed = parseInt<long>(v);
-            long n = parsed.value_or(0);
-            if (!parsed || n < 1)
-                usageError("--threads must be a positive integer, "
-                           "got \"" +
-                           v + "\"");
-            if (n > static_cast<long>(
-                        ParallelRunner::maxThreadCount)) {
-                std::cerr << "pdnspot_campaign: --threads " << n
-                          << " capped at "
-                          << ParallelRunner::maxThreadCount << "\n";
-                n = ParallelRunner::maxThreadCount;
-            }
-            opts.threads = static_cast<unsigned>(n);
+            opts.threads =
+                cli::parseThreads(tool, value(i, "--threads"));
         } else if (arg == "--no-memo") {
             opts.memo = false;
         } else if (arg == "--trace-dir") {
@@ -234,8 +186,8 @@ parseArgs(int argc, char **argv)
                 // from_chars on an unsigned type rejects "-4"
                 // outright (std::stoul would wrap it around to a
                 // huge shard count).
-                k = parseInt<size_t>(v.substr(0, slash));
-                n = parseInt<size_t>(v.substr(slash + 1));
+                k = cli::parseInt<size_t>(v.substr(0, slash));
+                n = cli::parseInt<size_t>(v.substr(slash + 1));
             }
             if (!k || !n || *k < 1 || *n < 1 || *k > *n)
                 usageError("--shard must be k/n with 1 <= k <= n, "
@@ -260,15 +212,12 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--quiet") {
             opts.logLevel = LogLevel::Warn;
         } else if (arg == "--log-level") {
-            std::string v = value(i, "--log-level");
-            if (v != "info" && v != "warn" && v != "silent")
-                usageError("--log-level must be info, warn or "
-                           "silent, got \"" +
-                           v + "\"");
-            opts.logLevel = logLevelFromString(v);
+            opts.logLevel =
+                cli::parseLogLevel(tool, value(i, "--log-level"));
         } else if (arg == "--seed") {
             std::string v = value(i, "--seed");
-            std::optional<uint64_t> seed = parseInt<uint64_t>(v);
+            std::optional<uint64_t> seed =
+                cli::parseInt<uint64_t>(v);
             if (!seed)
                 usageError("--seed must be a non-negative integer, "
                            "got \"" +
@@ -358,67 +307,6 @@ printSummary(const CampaignSummaryBuilder &builder, double batteryWh)
 }
 
 /**
- * The --progress heartbeat: a rate-limited cells/sec + ETA line,
- * rewritten in place on stderr. Constructed disabled when stderr is
- * not a TTY (a piped stderr would accumulate control characters, and
- * there is no one watching). Purely observational: it only counts
- * consumed cells, never touches them.
- */
-class ProgressMeter
-{
-  public:
-    ProgressMeter(bool enabled, size_t totalCells)
-        : _enabled(enabled && isatty(fileno(stderr)) == 1),
-          _total(totalCells),
-          _start(std::chrono::steady_clock::now()),
-          _lastPrint(_start)
-    {}
-
-    ~ProgressMeter()
-    {
-        if (_printed)
-            std::cerr << "\n";
-    }
-
-    void
-    tick(size_t done)
-    {
-        if (!_enabled)
-            return;
-        auto now = std::chrono::steady_clock::now();
-        if (done < _total &&
-            now - _lastPrint < std::chrono::milliseconds(500))
-            return;
-        _lastPrint = now;
-        std::chrono::duration<double> elapsed = now - _start;
-        double rate = elapsed.count() > 0.0
-                          ? static_cast<double>(done) /
-                                elapsed.count()
-                          : 0.0;
-        double eta = rate > 0.0
-                         ? static_cast<double>(_total - done) / rate
-                         : 0.0;
-        // \r + trailing pad rewrites the line in place.
-        std::cerr << strprintf(
-            "\rpdnspot_campaign: %zu/%zu cells (%.0f%%), "
-            "%.0f cells/s, ETA %.0fs   ",
-            done, _total,
-            _total ? 100.0 * static_cast<double>(done) /
-                         static_cast<double>(_total)
-                   : 100.0,
-            rate, eta);
-        _printed = true;
-    }
-
-  private:
-    bool _enabled;
-    size_t _total;
-    std::chrono::steady_clock::time_point _start;
-    std::chrono::steady_clock::time_point _lastPrint;
-    bool _printed = false;
-};
-
-/**
  * Streams CSV rows, feeds the summary builder, and exports probe
  * waveforms (--probe-out) in one pass. Cells arrive in canonical
  * order regardless of thread count, so the waveform files and the
@@ -428,7 +316,7 @@ class CliSink : public CampaignSink
 {
   public:
     CliSink(std::ostream &os, bool summarize, bool header,
-            ProgressMeter *progress, std::string probeDir)
+            cli::ProgressMeter *progress, std::string probeDir)
         : _csv(os, header), _summarize(summarize),
           _progress(progress), _probeDir(std::move(probeDir))
     {}
@@ -479,24 +367,12 @@ class CliSink : public CampaignSink
 
     CampaignCsvSink _csv;
     bool _summarize;
-    ProgressMeter *_progress;
+    cli::ProgressMeter *_progress;
     std::string _probeDir;
     size_t _waveforms = 0;
     std::vector<JsonValue> _counterEvents;
     CampaignSummaryBuilder _builder;
 };
-
-/** Read a file into a string; fatal() when unreadable. */
-std::string
-readFileBytes(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal(strprintf("cannot read \"%s\"", path.c_str()));
-    std::ostringstream out;
-    out << in.rdbuf();
-    return std::move(out).str();
-}
 
 int
 runCli(const Options &opts)
@@ -629,7 +505,8 @@ runCli(const Options &opts)
         spanInstall.emplace(*spans);
     }
 
-    ProgressMeter progress(opts.progress, endCell - firstCell);
+    cli::ProgressMeter progress(tool, "cells", opts.progress,
+                                endCell - firstCell);
     CliSink sink(out, opts.summary || wantReport,
                  opts.shardIndex == 1,
                  opts.progress ? &progress : nullptr,
@@ -683,7 +560,7 @@ runCli(const Options &opts)
     if (wantReport) {
         RunReportInputs rin;
         rin.specPath = opts.specPath;
-        rin.specText = readFileBytes(opts.specPath);
+        rin.specText = cli::readFileBytes(opts.specPath);
         rin.specEcho = parseJsonFile(opts.specPath);
         rin.spec = &spec;
         rin.threads = runner.threadCount();
