@@ -128,6 +128,36 @@ test "$waveforms" -gt 0
 echo "check.sh: probe smoke green" \
     "($waveforms waveforms in $build_dir/paper_probes)"
 
+# Launcher + archive smoke: pdnspot_launch fans the paper campaign
+# across 4 shard subprocesses with one injected shard failure; the
+# launcher must retry the sabotaged shard and still concatenate a
+# CSV byte-identical to the unsharded acceptance run. The shard
+# reports ingest into a result archive, which pdnspot_query must
+# resolve by the spec's content hash — listing all 4 shards and
+# reassembling the same bytes. The archive index lands in the build
+# dir for CI to upload next to the report and span trace.
+rm -rf "$build_dir/paper_archive"
+PDNSPOT_LAUNCH_INJECT=fail:2:1 "$build_dir"/tools/pdnspot_launch \
+    examples/specs/paper_campaign.json -n 4 --jobs 2 \
+    --backoff-ms 0 -o "$smoke_dir/launched.csv" \
+    --archive "$build_dir/paper_archive" \
+    2>"$smoke_dir/launch_err.txt"
+grep -q "shard 2/4 attempt 1/3 failed" "$smoke_dir/launch_err.txt"
+grep -q "retrying in 0 ms" "$smoke_dir/launch_err.txt"
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/launched.csv"
+spec_hash=$("$build_dir"/tools/pdnspot_query hash \
+    examples/specs/paper_campaign.json)
+"$build_dir"/tools/pdnspot_query "$build_dir/paper_archive" list \
+    --spec-hash "$spec_hash" --format csv \
+    >"$smoke_dir/archive_list.csv"
+runs=$(grep -c "pdnspot_campaign" "$smoke_dir/archive_list.csv")
+test "$runs" -eq 4
+"$build_dir"/tools/pdnspot_query "$build_dir/paper_archive" csv \
+    --spec-hash "$spec_hash" -o "$smoke_dir/archived.csv"
+cmp "$smoke_dir/cpp.csv" "$smoke_dir/archived.csv"
+echo "check.sh: launcher + archive smoke green" \
+    "(retried 1 injected failure; index in $build_dir/paper_archive)"
+
 # Fleet smoke: the population simulator's determinism contract at
 # the binary surface — the example study's aggregate CSV must be
 # byte-identical at 1 and 8 threads — plus the million-session spec

@@ -8,19 +8,38 @@
 namespace pdnspot
 {
 
-std::string
-benchMetricUnit(const std::string &metric)
+namespace
 {
-    // The counter metrics the bench binaries emit today. New
-    // counters default to "count" (HigherIsBetter) until named here.
+
+/**
+ * Canonical unit for the counter metrics the bench binaries emit
+ * today, or nullptr for metrics not named here. A time-per-item
+ * counter missing from this table gets stored as "count" and is
+ * then judged HigherIsBetter — i.e. a speedup reads as a
+ * regression — so every bench_* counter must be listed.
+ */
+const std::string *
+canonicalMetricUnit(const std::string &metric)
+{
     static const std::map<std::string, std::string> units = {
         {"cells_per_sec", "cells/s"},
         {"points_per_sec", "points/s"},
+        {"sessions_per_sec", "sessions/s"},
         {"ns_per_phase", "ns/phase"},
+        {"ns_per_session_bucket", "ns/session"},
         {"memo_hit_rate", "ratio"},
     };
     auto it = units.find(metric);
-    return it != units.end() ? it->second : "count";
+    return it != units.end() ? &it->second : nullptr;
+}
+
+} // namespace
+
+std::string
+benchMetricUnit(const std::string &metric)
+{
+    const std::string *unit = canonicalMetricUnit(metric);
+    return unit ? *unit : "count";
 }
 
 std::string
@@ -150,21 +169,28 @@ diffBenchRecords(const std::vector<BenchRecord> &oldRecords,
         }
         d.newValue = it->second->value;
 
+        // Direction comes from the metric's canonical unit when the
+        // metric is known, so snapshots written before a counter
+        // entered the unit table (stamped "count") are still judged
+        // the right way round; the stored unit decides only for
+        // metrics the table has never named.
+        const std::string *canon = canonicalMetricUnit(old.metric);
+        bool higherBetter = directionForUnit(canon ? *canon
+                                                   : old.unit) ==
+                            MetricDirection::HigherIsBetter;
+
         // Signed change toward "worse". A zero baseline cannot carry
         // a percentage: any movement off it counts as a full-scale
         // (100%) change in the direction it moved.
         double worse;
         if (old.value != 0.0) {
             worse = (d.newValue - d.oldValue) / old.value * 100.0;
-            if (directionForUnit(old.unit) ==
-                MetricDirection::HigherIsBetter)
+            if (higherBetter)
                 worse = -worse;
         } else if (d.newValue == 0.0) {
             worse = 0.0;
         } else {
             bool grew = d.newValue > 0.0;
-            bool higherBetter = directionForUnit(old.unit) ==
-                                MetricDirection::HigherIsBetter;
             worse = grew == higherBetter ? -100.0 : 100.0;
         }
         d.regressionPct = worse;

@@ -120,6 +120,12 @@ struct BenchDelta
  * new snapshot are first appearances — baselines, not deltas — and
  * are skipped. warnPct/failPct are the SmallRegression/BigRegression
  * thresholds in percent (the trajectory defaults are 5 and 20).
+ *
+ * Direction is resolved from the metric's *canonical* unit
+ * (benchMetricUnit) when the metric is in the unit table, falling
+ * back to the record's stored unit otherwise — so snapshots written
+ * before a counter entered the table (stored as "count") are still
+ * judged the right way round.
  */
 std::vector<BenchDelta>
 diffBenchRecords(const std::vector<BenchRecord> &oldRecords,

@@ -630,9 +630,12 @@ CampaignSpec
 campaignSpecFromJson(const JsonValue &root,
                      const std::string &traceDir)
 {
+    // "launch" belongs to pdnspot_launch (launch_config.hh); the
+    // campaign itself ignores it so a spec with fan-out knobs still
+    // runs unchanged under plain pdnspot_campaign.
     rejectUnknownKeys(root, "spec",
                       {"traces", "platforms", "pdns", "mode",
-                       "tick_us", "probes"});
+                       "tick_us", "probes", "launch"});
     for (const char *required : {"traces", "platforms", "pdns"}) {
         if (!root.find(required))
             root.fail(strprintf("missing required key \"%s\"",

@@ -632,6 +632,50 @@ appendJson(std::string &out, const JsonValue &v, int depth)
     panic("writeJson: invalid JSON kind");
 }
 
+void
+appendJsonCompact(std::string &out, const JsonValue &v)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        return;
+      case JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+      case JsonValue::Kind::Number:
+        out += csvExactDouble(v.asNumber());
+        return;
+      case JsonValue::Kind::String:
+        appendJsonString(out, v.asString());
+        return;
+      case JsonValue::Kind::Array: {
+        out += '[';
+        const std::vector<JsonValue> &items = v.items();
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += ", ";
+            appendJsonCompact(out, items[i]);
+        }
+        out += ']';
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        out += '{';
+        const std::vector<JsonValue::Member> &members = v.members();
+        for (size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                out += ", ";
+            appendJsonString(out, members[i].first);
+            out += ": ";
+            appendJsonCompact(out, members[i].second);
+        }
+        out += '}';
+        return;
+      }
+    }
+    panic("writeJsonCompact: invalid JSON kind");
+}
+
 } // namespace
 
 std::string
@@ -640,6 +684,14 @@ writeJson(const JsonValue &value)
     std::string out;
     appendJson(out, value, 0);
     out += '\n';
+    return out;
+}
+
+std::string
+writeJsonCompact(const JsonValue &value)
+{
+    std::string out;
+    appendJsonCompact(out, value);
     return out;
 }
 

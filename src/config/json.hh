@@ -126,6 +126,15 @@ JsonValue parseJsonFile(const std::string &path);
  */
 std::string writeJson(const JsonValue &value);
 
+/**
+ * Serialize a value as a single line (no newlines, ", "/": "
+ * separators) — the result-archive index format, where one line is
+ * one record and a torn trailing line must not corrupt its
+ * predecessors. Same number/string grammar as writeJson; no trailing
+ * newline.
+ */
+std::string writeJsonCompact(const JsonValue &value);
+
 } // namespace pdnspot
 
 #endif // PDNSPOT_CONFIG_JSON_HH

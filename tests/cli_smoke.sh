@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Script-driven smoke tests for the pdnspot_campaign and
-# pdnspot_fleet CLIs, registered one case per CTest test
-# (tests/CMakeLists.txt). Each case asserts the exit code and the
-# relevant stdout/stderr fragment for a CLI surface the GoogleTest
-# suites cannot reach: argv parsing, usage errors, spec-error
-# reporting, the listing commands, and --dry-run provenance. The
+# Script-driven smoke tests for the pdnspot_campaign,
+# pdnspot_fleet, pdnspot_launch and pdnspot_query CLIs, registered
+# one case per CTest test (tests/CMakeLists.txt). Each case asserts
+# the exit code and the relevant stdout/stderr fragment for a CLI
+# surface the GoogleTest suites cannot reach: argv parsing, usage
+# errors, spec-error reporting, the listing commands, --dry-run
+# provenance, and the launcher's retry/archive round trips. The
 # fleet_* cases expect the pdnspot_fleet binary as the tool under
-# test; everything else expects pdnspot_campaign.
+# test, launch_* pdnspot_launch and query_* pdnspot_query;
+# everything else expects pdnspot_campaign. The optional fourth
+# argument is a second binary the case needs: bench_diff for the
+# version case, pdnspot_campaign for the launch_*/query_* cases
+# that compare against (or generate) a direct campaign run.
 #
 # Usage: cli_smoke.sh <tool-binary> <case> <spec-dir> \
-#            [bench_diff-binary]
+#            [extra-binary]
 
 set -u
 
@@ -283,6 +288,101 @@ EOF
     head -n 1 "$tmp/f.csv" | grep -qF \
         "bucket,t_s,sessions_alive,supply_power_w,energy_j,mode_switches,deaths,storm" \
         || fail "aggregate CSV header drifted"
+    ;;
+  launch_usage)
+    run 2
+    expect_err "missing spec file"
+    expect_err "usage: pdnspot_launch"
+    run 2 "$spec_dir/measured_campaign.json" --shards 0
+    expect_err "--shards must be a positive integer"
+    run 2 "$spec_dir/measured_campaign.json" --timeout nan
+    expect_err "--timeout must be a non-negative number"
+    run 2 "$spec_dir/measured_campaign.json" --frobnicate
+    expect_err 'unknown option "--frobnicate"'
+    ;;
+  launch_dry_run)
+    run 0 "$spec_dir/measured_campaign.json" -n 3 --dry-run
+    expect_err "cells over 3 shards"
+    expect_err "shard 1/3: cells [0, "
+    expect_err "shard 3/3: cells ["
+    ;;
+  launch_retry_after_kill)
+    # Shard 1's first attempt is killed by the injection hook; the
+    # launcher must retry it and still concatenate a CSV
+    # byte-identical to a direct unsharded campaign run.
+    campaign="$bench_diff"
+    "$campaign" "$spec_dir/measured_campaign.json" \
+        -o "$tmp/direct.csv" --quiet \
+        || fail "direct campaign run failed"
+    PDNSPOT_LAUNCH_INJECT=kill:1:1 \
+        run 0 "$spec_dir/measured_campaign.json" -n 2 \
+        --backoff-ms 0 -o "$tmp/sharded.csv" \
+        --campaign-bin "$campaign"
+    expect_err "shard 1/2 attempt 1/3 failed (killed by signal 9)"
+    expect_err "retrying in 0 ms"
+    cmp -s "$tmp/direct.csv" "$tmp/sharded.csv" \
+        || fail "retried launch CSV differs from the direct run"
+    ;;
+  launch_exhausted_retries)
+    # More injected failures than retries: the launcher must exit
+    # non-zero naming the shard that gave up and its log.
+    campaign="$bench_diff"
+    PDNSPOT_LAUNCH_INJECT=fail:2:9 \
+        run 1 "$spec_dir/measured_campaign.json" -n 2 --jobs 2 \
+        --retries 1 --backoff-ms 0 -o "$tmp/never.csv" \
+        --campaign-bin "$campaign" --work-dir "$tmp/work"
+    expect_err "shard 2/2 failed after 2 attempts"
+    expect_err "shard_2.log"
+    ;;
+  query_usage)
+    run 2
+    expect_err "missing archive directory"
+    expect_err "usage: pdnspot_query"
+    run 2 "$tmp/arch" frobnicate
+    expect_err 'unknown command "frobnicate"'
+    run 2 "$tmp/arch" list --where "battery_life_h"
+    expect_err "--where expects <metric><op><value>"
+    run 2 "$tmp/arch" list --where "bogus>1"
+    expect_err 'unknown --where metric "bogus"'
+    ;;
+  query_hash)
+    run 0 hash "$spec_dir/measured_campaign.json"
+    expect_out "fnv1a64:"
+    run 1 hash "$tmp/no_such_file.json"
+    expect_err "no_such_file.json"
+    ;;
+  query_roundtrip)
+    # The archive round trip: a reported campaign run ingests, is
+    # findable by its spec content hash, and its payload reads back
+    # byte-identical; rebuild-index regenerates the same answers.
+    campaign="$bench_diff"
+    "$campaign" "$spec_dir/measured_campaign.json" \
+        -o "$tmp/run.csv" --report "$tmp/run.report.json" --quiet \
+        || fail "reported campaign run failed"
+    run 0 "$tmp/arch" ingest "$tmp/run.report.json" \
+        --csv-file "$tmp/run.csv"
+    id="$(cat "$tmp/out")"
+    [ -n "$id" ] || fail "ingest printed no run id"
+    "$tool" hash "$spec_dir/measured_campaign.json" \
+        >"$tmp/out" 2>"$tmp/err" || fail "hash failed"
+    hash="$(cat "$tmp/out")"
+    run 0 "$tmp/arch" list --spec-hash "$hash" --format csv
+    expect_out "$id"
+    expect_out "pdnspot_campaign"
+    run 0 "$tmp/arch" csv --spec-hash "$hash" -o "$tmp/back.csv"
+    cmp -s "$tmp/run.csv" "$tmp/back.csv" \
+        || fail "archived payload differs from the original CSV"
+    run 0 "$tmp/arch" show "$id"
+    expect_out '"schema": "pdnspot-report-1"'
+    rm "$tmp/arch/index.jsonl"
+    run 0 "$tmp/arch" rebuild-index
+    run 0 "$tmp/arch" csv "$id" -o "$tmp/back2.csv"
+    cmp -s "$tmp/run.csv" "$tmp/back2.csv" \
+        || fail "rebuilt index lost the payload association"
+    run 0 "$tmp/arch" summaries --where "battery_life_h>0"
+    expect_out "FlexWatts"
+    run 1 "$tmp/arch" show ffffnotanid
+    expect_err 'no archived run matches id prefix'
     ;;
   *)
     echo "cli_smoke: unknown case \"$case_name\"" >&2

@@ -87,7 +87,10 @@ TEST(BenchTrajectoryTest, MetricUnitTable)
 {
     EXPECT_EQ(benchMetricUnit("cells_per_sec"), "cells/s");
     EXPECT_EQ(benchMetricUnit("points_per_sec"), "points/s");
+    EXPECT_EQ(benchMetricUnit("sessions_per_sec"), "sessions/s");
     EXPECT_EQ(benchMetricUnit("ns_per_phase"), "ns/phase");
+    EXPECT_EQ(benchMetricUnit("ns_per_session_bucket"),
+              "ns/session");
     EXPECT_EQ(benchMetricUnit("memo_hit_rate"), "ratio");
     EXPECT_EQ(benchMetricUnit("anything_else"), "count");
 }
@@ -156,6 +159,40 @@ TEST(BenchTrajectoryTest, DiffInvertsForTimeUnits)
         diffBenchRecords({oldNs}, {faster}, 5.0, 20.0);
     ASSERT_EQ(down.size(), 1u);
     EXPECT_EQ(down[0].verdict, BenchVerdict::Improved);
+}
+
+TEST(BenchTrajectoryTest, DiffUsesCanonicalUnitForLegacyRecords)
+{
+    // Snapshots written before ns_per_session_bucket entered the
+    // unit table stored it as "count" (HigherIsBetter); the diff
+    // must still judge it by its canonical time-per-item direction,
+    // so a big drop is an improvement, not a failed gate.
+    BenchRecord old{"fleet", "ns_per_session_bucket", 74.0, "count",
+                    "r", 1};
+    BenchRecord faster = old, slower = old;
+    faster.value = 49.0; // -33.8%: sped up
+    slower.value = 96.2; // +30%: slowed down
+
+    std::vector<BenchDelta> down =
+        diffBenchRecords({old}, {faster}, 5.0, 20.0);
+    ASSERT_EQ(down.size(), 1u);
+    EXPECT_EQ(down[0].verdict, BenchVerdict::Improved);
+
+    std::vector<BenchDelta> up =
+        diffBenchRecords({old}, {slower}, 5.0, 20.0);
+    ASSERT_EQ(up.size(), 1u);
+    EXPECT_EQ(up[0].verdict, BenchVerdict::BigRegression);
+    EXPECT_NEAR(up[0].regressionPct, 30.0, 1e-9);
+
+    // A metric the table has never named keeps its stored unit's
+    // direction: "count" shrinking is a regression.
+    BenchRecord unknown{"b", "widgets_seen", 100.0, "count", "r", 1};
+    BenchRecord fewer = unknown;
+    fewer.value = 70.0;
+    std::vector<BenchDelta> d =
+        diffBenchRecords({unknown}, {fewer}, 5.0, 20.0);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].verdict, BenchVerdict::BigRegression);
 }
 
 } // anonymous namespace

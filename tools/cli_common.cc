@@ -1,5 +1,6 @@
 #include "cli_common.hh"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -35,6 +36,13 @@ parseDouble(const std::string &v)
     const char *end = v.data() + v.size();
     auto [ptr, ec] = std::from_chars(v.data(), end, out);
     if (ec != std::errc() || ptr != end)
+        return std::nullopt;
+    // std::from_chars accepts "inf"/"nan" (any case). No CLI number
+    // here means an infinity — "--battery-wh nan" would sail through
+    // a `<= 0` positivity check (NaN comparisons are all false) and
+    // "inf" passes it outright, poisoning every downstream summary.
+    // Rejecting non-finite values here covers every caller at once.
+    if (!std::isfinite(out))
         return std::nullopt;
     return out;
 }
@@ -92,6 +100,32 @@ ProgressMeter::~ProgressMeter()
         std::cerr << "\n";
 }
 
+std::string
+formatProgressLine(const char *name, const char *unit, size_t done,
+                   size_t total, double elapsedSeconds)
+{
+    double rate = elapsedSeconds > 0.0
+                      ? static_cast<double>(done) / elapsedSeconds
+                      : 0.0;
+    // A zero rate (nothing finished yet, or a zero elapsed clock)
+    // used to print "ETA 0s" — the one message a stalled shard must
+    // never show. "ETA --" says "no estimate", which is the truth.
+    std::string eta =
+        rate > 0.0 && total > 0
+            ? strprintf("%.0fs",
+                        static_cast<double>(total - done) / rate)
+            : "--";
+    // An unknown total (0) gets no "k/0 (100%)" lie: just the count.
+    std::string progress =
+        total > 0
+            ? strprintf("%zu/%zu %s (%.0f%%)", done, total, unit,
+                        100.0 * static_cast<double>(done) /
+                            static_cast<double>(total))
+            : strprintf("%zu %s", done, unit);
+    return strprintf("%s: %s, %.0f %s/s, ETA %s", name,
+                     progress.c_str(), rate, unit, eta.c_str());
+}
+
 void
 ProgressMeter::tick(size_t done)
 {
@@ -103,21 +137,11 @@ ProgressMeter::tick(size_t done)
         return;
     _lastPrint = now;
     std::chrono::duration<double> elapsed = now - _start;
-    double rate =
-        elapsed.count() > 0.0
-            ? static_cast<double>(done) / elapsed.count()
-            : 0.0;
-    double eta = rate > 0.0
-                     ? static_cast<double>(_total - done) / rate
-                     : 0.0;
     // \r + trailing pad rewrites the line in place.
-    std::cerr << strprintf(
-        "\r%s: %zu/%zu %s (%.0f%%), %.0f %s/s, ETA %.0fs   ", _name,
-        done, _total, _unit,
-        _total ? 100.0 * static_cast<double>(done) /
-                     static_cast<double>(_total)
-               : 100.0,
-        rate, _unit, eta);
+    std::cerr << "\r"
+              << formatProgressLine(_name, _unit, done, _total,
+                                    elapsed.count())
+              << "   ";
     _printed = true;
 }
 

@@ -79,6 +79,18 @@ LogLevel parseLogLevel(const ToolInfo &tool, const std::string &v);
 std::string readFileBytes(const std::string &path);
 
 /**
+ * The progress-heartbeat line body (no \r, no trailing pad):
+ * "name: done/total unit (P%), R unit/s, ETA Es". A zero rate or an
+ * unknown remaining count prints "ETA --" instead of a fictitious
+ * "ETA 0s" (a stalled shard must look stalled), and a zero total
+ * drops the "done/total (P%)" segment for a plain count instead of
+ * claiming 100%.
+ */
+std::string formatProgressLine(const char *name, const char *unit,
+                               size_t done, size_t total,
+                               double elapsedSeconds);
+
+/**
  * The --progress heartbeat: a rate-limited work/sec + ETA line,
  * rewritten in place on stderr. Constructed disabled when stderr is
  * not a TTY (a piped stderr would accumulate control characters, and

@@ -72,7 +72,6 @@
  */
 
 #include <chrono>
-#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -162,9 +161,10 @@ parseArgs(int argc, char **argv)
             opts.summary = true;
         } else if (arg == "--battery-wh") {
             std::string v = value(i, "--battery-wh");
+            // parseDouble rejects non-finite values ("nan"/"inf")
+            // for every caller, so a positivity check suffices.
             std::optional<double> wh = cli::parseDouble(v);
-            // from_chars accepts "nan"/"inf"; neither is a battery.
-            if (!wh || !std::isfinite(*wh) || !(*wh > 0.0))
+            if (!wh || !(*wh > 0.0))
                 usageError("--battery-wh must be a positive number, "
                            "got \"" +
                            v + "\"");
